@@ -1,0 +1,213 @@
+//! Ben-Or's randomized Byzantine agreement with local coins (1983).
+//!
+//! Each phase has two all-to-all rounds. In the *report* round every
+//! processor broadcasts its vote; a processor seeing more than
+//! `(n+t)/2` identical votes *proposes* that value in the second round,
+//! otherwise proposes ⊥. In the *proposal* round, `t+1` matching
+//! proposals adopt the value, more than `(n+t)/2` decide it, and with no
+//! signal the processor flips its own private coin. Local coins mean the
+//! adversary can keep good processors split for an expected exponential
+//! number of phases at `t = Θ(n)` — exactly the gap Rabin's common coin
+//! (and the paper's manufactured global coins) close.
+
+use ba_sim::{Envelope, Payload, Process, RoundCtx};
+use rand::Rng;
+
+/// Configuration for Ben-Or.
+#[derive(Clone, Copy, Debug)]
+pub struct BenOrConfig {
+    /// Designed fault tolerance `t` (safety needs `t < n/5` in this
+    /// simple synchronous variant).
+    pub t: usize,
+    /// Maximum phases before giving up undecided.
+    pub max_phases: usize,
+}
+
+impl BenOrConfig {
+    /// `t = ⌈n/5⌉ − 1`, with a generous phase budget.
+    pub fn for_n(n: usize) -> Self {
+        BenOrConfig {
+            t: (n / 5).saturating_sub(1),
+            max_phases: 8 * ((n as f64).log2().ceil() as usize).max(4),
+        }
+    }
+
+    /// Rounds: two per phase.
+    pub fn total_rounds(&self) -> usize {
+        2 * self.max_phases + 1
+    }
+}
+
+/// Messages: first-round reports and second-round proposals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoMsg {
+    /// Report of the current vote.
+    Report(bool),
+    /// Proposal: `Some(v)` when an overwhelming majority was seen, `None`
+    /// for ⊥.
+    Propose(Option<bool>),
+}
+
+impl Payload for BoMsg {
+    fn bit_len(&self) -> u64 {
+        2
+    }
+}
+
+/// Per-processor state machine for Ben-Or.
+#[derive(Debug)]
+pub struct BenOrProcess {
+    config: BenOrConfig,
+    vote: bool,
+    decided: Option<bool>,
+    /// Decision becomes visible (output) only at the end of the phase
+    /// after deciding, mirroring the classic termination handling.
+    done: bool,
+}
+
+impl BenOrProcess {
+    /// Creates the processor with its input bit.
+    pub fn new(config: BenOrConfig, input: bool) -> Self {
+        BenOrProcess {
+            config,
+            vote: input,
+            decided: None,
+            done: false,
+        }
+    }
+}
+
+impl Process for BenOrProcess {
+    type Msg = BoMsg;
+    type Output = bool;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, BoMsg>, inbox: &[Envelope<BoMsg>]) {
+        let r = ctx.round();
+        if r >= self.config.total_rounds() {
+            self.done = true;
+            return;
+        }
+        let n = ctx.n();
+        let t = self.config.t;
+        if r % 2 == 0 {
+            // Digest the previous phase's proposals.
+            if r > 0 {
+                let mut count = [0usize; 2];
+                let mut seen = vec![false; n];
+                for e in inbox {
+                    if let BoMsg::Propose(Some(v)) = e.payload {
+                        if !seen[e.from.index()] {
+                            seen[e.from.index()] = true;
+                            count[v as usize] += 1;
+                        }
+                    }
+                }
+                let leader = count[1] >= count[0];
+                let c = count[leader as usize];
+                if c > (n + t) / 2 {
+                    self.decided = Some(leader);
+                    self.vote = leader;
+                } else if c > t {
+                    self.vote = leader;
+                } else if self.decided.is_none() {
+                    self.vote = ctx.rng().gen_bool(0.5);
+                }
+            }
+            if self.decided.is_some() {
+                // One more phase of participation lets laggards catch up,
+                // then stop broadcasting.
+                self.done = true;
+            }
+            for p in ctx.all_procs() {
+                ctx.send(p, BoMsg::Report(self.vote));
+            }
+        } else {
+            // Tally reports, broadcast proposal.
+            let mut count = [0usize; 2];
+            let mut seen = vec![false; n];
+            for e in inbox {
+                if let BoMsg::Report(v) = e.payload {
+                    if !seen[e.from.index()] {
+                        seen[e.from.index()] = true;
+                        count[v as usize] += 1;
+                    }
+                }
+            }
+            let leader = count[1] >= count[0];
+            let proposal = (count[leader as usize] > (n + t) / 2).then_some(leader);
+            for p in ctx.all_procs() {
+                ctx.send(p, BoMsg::Propose(proposal));
+            }
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        if self.done {
+            self.decided.or(Some(self.vote))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_sim::{NullAdversary, SimBuilder, StaticAdversary};
+
+    fn run_clean(n: usize, seed: u64, inputs: impl Fn(usize) -> bool) -> ba_sim::RunOutcome<bool> {
+        let cfg = BenOrConfig::for_n(n);
+        SimBuilder::new(n)
+            .seed(seed)
+            .build(
+                |p, _| BenOrProcess::new(cfg, inputs(p.index())),
+                NullAdversary,
+            )
+            .run(cfg.total_rounds() + 2)
+    }
+
+    #[test]
+    fn unanimous_decides_first_phase() {
+        let out = run_clean(20, 1, |_| true);
+        assert!(out.all_good_agree_on(&true));
+        // Unanimity decides in phase 1, visible by round ~4.
+        assert!(out.rounds <= 8, "took {} rounds", out.rounds);
+    }
+
+    #[test]
+    fn split_inputs_converge() {
+        let out = run_clean(25, 2, |i| i % 2 == 0);
+        assert!(out.all_good_agree(), "outputs: {:?}", out.outputs);
+    }
+
+    #[test]
+    fn crash_faults_tolerated() {
+        let n = 25;
+        let cfg = BenOrConfig::for_n(n); // t = 4
+        let out = SimBuilder::new(n)
+            .seed(3)
+            .max_corruptions(cfg.t)
+            .build(
+                |p, _| BenOrProcess::new(cfg, p.index() >= cfg.t),
+                StaticAdversary::first_k(cfg.t),
+            )
+            .run(cfg.total_rounds() + 2);
+        assert!(out.all_good_agree_on(&true));
+    }
+
+    #[test]
+    fn per_processor_bits_linear_per_phase() {
+        let out = run_clean(20, 4, |_| false);
+        // Unanimous: ~2 phases × 2 rounds × 20 recipients × 2 bits.
+        let stats = out.metrics.bit_stats(|_| true);
+        assert!(stats.mean >= 80.0, "mean {}", stats.mean);
+        assert!(stats.mean <= 800.0, "mean {}", stats.mean);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_clean(15, 9, |i| i % 3 == 0);
+        let b = run_clean(15, 9, |i| i % 3 == 0);
+        assert_eq!(a.outputs, b.outputs);
+    }
+}

@@ -1,0 +1,182 @@
+//! All-to-all flooding majority — the naive O(n²)-messages-per-round
+//! strawman the systems quotes in the paper's §1 complain about.
+//!
+//! Every round, every processor broadcasts its current bit and adopts the
+//! majority of what it receives; after `rounds` rounds it decides. With
+//! crash faults this converges fast; against *Byzantine* equivocators it
+//! has no agreement guarantee at all (each victim can be shown a
+//! different majority forever) — which is the point: it prices the bits
+//! without buying the property, and experiments use it as the bandwidth
+//! strawman.
+
+use ba_sim::{Envelope, Payload, Process, RoundCtx};
+
+/// Configuration for flooding majority.
+#[derive(Clone, Copy, Debug)]
+pub struct FloodConfig {
+    /// Number of all-to-all rounds before deciding.
+    pub rounds: usize,
+}
+
+impl FloodConfig {
+    /// A logarithmic round budget (plenty for crash-fault convergence).
+    pub fn for_n(n: usize) -> Self {
+        FloodConfig {
+            rounds: ((n as f64).log2().ceil() as usize).max(2),
+        }
+    }
+}
+
+/// Vote message (one bit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FloodMsg(pub bool);
+
+impl Payload for FloodMsg {
+    fn bit_len(&self) -> u64 {
+        1
+    }
+}
+
+/// Per-processor state machine for flooding majority.
+#[derive(Debug)]
+pub struct FloodProcess {
+    config: FloodConfig,
+    vote: bool,
+    decided: Option<bool>,
+}
+
+impl FloodProcess {
+    /// Creates the processor with its input bit.
+    pub fn new(config: FloodConfig, input: bool) -> Self {
+        FloodProcess {
+            config,
+            vote: input,
+            decided: None,
+        }
+    }
+}
+
+impl Process for FloodProcess {
+    type Msg = FloodMsg;
+    type Output = bool;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, FloodMsg>, inbox: &[Envelope<FloodMsg>]) {
+        let r = ctx.round();
+        let n = ctx.n();
+        if r > 0 {
+            let mut seen = vec![false; n];
+            let mut ones = 0usize;
+            let mut total = 0usize;
+            for e in inbox {
+                if !seen[e.from.index()] {
+                    seen[e.from.index()] = true;
+                    total += 1;
+                    if e.payload.0 {
+                        ones += 1;
+                    }
+                }
+            }
+            if total > 0 {
+                self.vote = 2 * ones >= total;
+            }
+        }
+        if r < self.config.rounds {
+            for p in ctx.all_procs() {
+                ctx.send(p, FloodMsg(self.vote));
+            }
+        } else if self.decided.is_none() {
+            self.decided = Some(self.vote);
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_sim::{AdvAction, AdvView, Adversary, NullAdversary, ProcId, SimBuilder, SimRng, StaticAdversary};
+
+    #[test]
+    fn clean_majority_wins() {
+        let n = 20;
+        let cfg = FloodConfig::for_n(n);
+        let out = SimBuilder::new(n)
+            .seed(1)
+            .build(|p, _| FloodProcess::new(cfg, p.index() < 13), NullAdversary)
+            .run(cfg.rounds + 2);
+        assert!(out.all_good_agree_on(&true));
+    }
+
+    #[test]
+    fn crash_faults_fine() {
+        let n = 20;
+        let cfg = FloodConfig::for_n(n);
+        let out = SimBuilder::new(n)
+            .seed(2)
+            .max_corruptions(5)
+            .build(
+                |p, _| FloodProcess::new(cfg, p.index() >= 5),
+                StaticAdversary::first_k(5),
+            )
+            .run(cfg.rounds + 2);
+        assert!(out.all_good_agree_on(&true));
+    }
+
+    /// The known weakness: a single equivocator keeps two halves split
+    /// forever when the good votes are perfectly balanced.
+    struct Splitter;
+    impl Adversary<FloodProcess> for Splitter {
+        fn act(
+            &mut self,
+            view: &AdvView<'_, FloodProcess>,
+            _rng: &mut SimRng,
+        ) -> AdvAction<FloodMsg> {
+            let mut a = AdvAction::none();
+            if view.round() == 0 {
+                a.corrupt = vec![ProcId::new(0)];
+                a.drop_pending_from = a.corrupt.clone();
+            }
+            for to in 0..view.n() {
+                a.inject
+                    .push(Envelope::new(ProcId::new(0), ProcId::new(to), FloodMsg(to % 2 == 0)));
+            }
+            a
+        }
+    }
+
+    #[test]
+    fn equivocator_defeats_flooding() {
+        // n = 21: p0 corrupt; goods split 10/10. The equivocator's
+        // per-victim vote keeps each side seeing a different majority.
+        let n = 21;
+        let cfg = FloodConfig { rounds: 8 };
+        let out = SimBuilder::new(n)
+            .seed(3)
+            .max_corruptions(1)
+            .build(|p, _| FloodProcess::new(cfg, p.index() % 2 == 0), Splitter)
+            .run(cfg.rounds + 2);
+        assert!(
+            !out.all_good_agree(),
+            "flooding majority should NOT survive equivocation (this is the strawman)"
+        );
+    }
+
+    #[test]
+    fn bit_cost_is_n_per_round() {
+        let n = 16;
+        let cfg = FloodConfig { rounds: 4 };
+        let out = SimBuilder::new(n)
+            .seed(4)
+            .build(|_, _| FloodProcess::new(cfg, true), NullAdversary)
+            .run(cfg.rounds + 2);
+        for i in 0..n {
+            assert_eq!(
+                out.metrics.bits_sent_by(ProcId::new(i)),
+                (n * cfg.rounds) as u64
+            );
+        }
+    }
+}

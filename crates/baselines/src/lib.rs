@@ -1,0 +1,37 @@
+//! # ba-baselines — classical Byzantine agreement baselines
+//!
+//! The paper's motivation (§1) is that classical Byzantine agreement
+//! "requires a number of messages quadratic in the number of
+//! participants". These are the comparators the experiments measure the
+//! King–Saia stack against, all running at full message level on
+//! `ba-sim`:
+//!
+//! * [`PhaseKingProcess`] — the deterministic Berman–Garay–Perry *phase
+//!   king* protocol: `t+1` phases of all-to-all exchange plus a rotating
+//!   king, `Θ(n)` bits per processor **per phase**, so `Θ(n·t)` bits per
+//!   processor total — the canonical quadratic-total baseline.
+//! * [`BenOrProcess`] — Ben-Or's randomized agreement with *local* coins:
+//!   simple rounds of all-to-all exchange; expected constant rounds only
+//!   for `t = O(√n)`, exponential against stronger adversaries.
+//! * [`RabinProcess`] — Rabin's agreement with a *trusted common coin*
+//!   (modeled as a shared beacon): expected O(1) rounds, still `Θ(n)`
+//!   bits per processor per round. This is exactly the algorithm the
+//!   paper runs on a *sparse* graph with *manufactured* coins (its
+//!   Algorithm 5); running it on the complete graph with a free beacon
+//!   isolates what the King–Saia machinery buys.
+//! * [`FloodProcess`] — all-to-all flooding majority: the naive strawman
+//!   that pays quadratic messages per round and still falls to a single
+//!   equivocator (its unit tests demonstrate the break).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ben_or;
+mod flood;
+mod phase_king;
+mod rabin;
+
+pub use ben_or::{BenOrConfig, BenOrProcess};
+pub use flood::{FloodConfig, FloodMsg, FloodProcess};
+pub use phase_king::{PhaseKingConfig, PhaseKingProcess};
+pub use rabin::{RabinConfig, RabinProcess};

@@ -1,0 +1,278 @@
+//! The Berman–Garay–Perry "phase king" protocol.
+//!
+//! Deterministic Byzantine agreement in `t+1` phases. Each phase has two
+//! all-to-all rounds plus a king broadcast: every processor broadcasts
+//! its vote, adopts the majority if it is overwhelming (`> n/2 + t`), and
+//! otherwise defers to the phase's king. With `t < n/4` faults at least
+//! one phase has a good king, after which all good processors agree and
+//! the overwhelming-majority rule keeps them there.
+//!
+//! Cost: `Θ(n)` bits per processor per phase and `t+1 = Θ(n)` phases —
+//! the `Θ(n²)`-bits-per-processor baseline the paper's §1 quotes are
+//! about (total bits `Θ(n³)` in this simple variant; the classic
+//! `Θ(n²)`-total protocols add signature or early-stopping machinery,
+//! none of which changes the ω(√n)-per-processor picture).
+
+use ba_sim::{Envelope, Payload, ProcId, Process, RoundCtx};
+
+/// Configuration for phase king.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseKingConfig {
+    /// Designed fault tolerance `t`; the protocol runs `t+1` phases.
+    pub t: usize,
+}
+
+impl PhaseKingConfig {
+    /// The standard tolerance for this variant: `t = ⌈n/4⌉ − 1`.
+    pub fn for_n(n: usize) -> Self {
+        PhaseKingConfig {
+            t: (n / 4).saturating_sub(1),
+        }
+    }
+
+    /// Total rounds: two per phase (exchange, king), `t+1` phases.
+    pub fn total_rounds(&self) -> usize {
+        2 * (self.t + 1)
+    }
+}
+
+/// Messages: a vote broadcast or the king's tie-break.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PkMsg {
+    /// All-to-all vote.
+    Vote(bool),
+    /// The phase king's proposal.
+    King(bool),
+}
+
+impl Payload for PkMsg {
+    fn bit_len(&self) -> u64 {
+        1
+    }
+}
+
+/// Per-processor state machine for phase king.
+#[derive(Debug)]
+pub struct PhaseKingProcess {
+    config: PhaseKingConfig,
+    vote: bool,
+    /// Majority and its multiplicity from the exchange round, consumed in
+    /// the king round.
+    pending: Option<(bool, usize)>,
+    decided: Option<bool>,
+}
+
+impl PhaseKingProcess {
+    /// Creates the processor with its input bit.
+    pub fn new(config: PhaseKingConfig, input: bool) -> Self {
+        PhaseKingProcess {
+            config,
+            vote: input,
+            pending: None,
+            decided: None,
+        }
+    }
+}
+
+impl Process for PhaseKingProcess {
+    type Msg = PkMsg;
+    type Output = bool;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, PkMsg>, inbox: &[Envelope<PkMsg>]) {
+        let r = ctx.round();
+        let total = self.config.total_rounds();
+        if r > total {
+            return;
+        }
+        let n = ctx.n();
+        let phase = r / 2;
+        if r % 2 == 0 {
+            // Digest the previous phase's king message first.
+            if r > 0 {
+                let prev_king = ProcId::new((phase - 1) % n);
+                let king_bit = inbox.iter().find_map(|e| {
+                    if e.from == prev_king {
+                        match e.payload {
+                            PkMsg::King(b) => Some(b),
+                            PkMsg::Vote(_) => None,
+                        }
+                    } else {
+                        None
+                    }
+                });
+                let (maj, mult) = self.pending.take().unwrap_or((self.vote, 0));
+                self.vote = if mult > n / 2 + self.config.t {
+                    maj
+                } else {
+                    king_bit.unwrap_or(maj)
+                };
+            }
+            if r == total {
+                self.decided = Some(self.vote);
+                return;
+            }
+            // Exchange round: broadcast vote.
+            for p in ctx.all_procs() {
+                ctx.send(p, PkMsg::Vote(self.vote));
+            }
+        } else {
+            // Tally the exchange (one vote per sender).
+            let mut seen = vec![false; n];
+            let mut ones = 0usize;
+            let mut total_votes = 0usize;
+            for e in inbox {
+                if let PkMsg::Vote(b) = e.payload {
+                    if !seen[e.from.index()] {
+                        seen[e.from.index()] = true;
+                        total_votes += 1;
+                        if b {
+                            ones += 1;
+                        }
+                    }
+                }
+            }
+            let maj = 2 * ones >= total_votes;
+            let mult = if maj { ones } else { total_votes - ones };
+            self.pending = Some((maj, mult));
+            // King broadcast.
+            if ctx.me().index() == phase % n {
+                for p in ctx.all_procs() {
+                    ctx.send(p, PkMsg::King(maj));
+                }
+            }
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_sim::{AdvAction, AdvView, Adversary, NullAdversary, SimBuilder, SimRng};
+
+    fn run_clean(n: usize, inputs: impl Fn(usize) -> bool) -> ba_sim::RunOutcome<bool> {
+        let cfg = PhaseKingConfig::for_n(n);
+        SimBuilder::new(n)
+            .seed(1)
+            .build(
+                |p, _| PhaseKingProcess::new(cfg, inputs(p.index())),
+                NullAdversary,
+            )
+            .run(cfg.total_rounds() + 2)
+    }
+
+    #[test]
+    fn unanimous_agrees() {
+        let out = run_clean(16, |_| true);
+        assert!(out.all_good_agree_on(&true));
+    }
+
+    #[test]
+    fn split_agrees_on_something() {
+        let out = run_clean(17, |i| i % 2 == 0);
+        assert!(out.all_good_agree());
+    }
+
+    #[test]
+    fn majority_input_wins_without_faults() {
+        // 12 of 16 start with false: overwhelming majority rule decides false.
+        let out = run_clean(16, |i| i % 4 == 0);
+        assert!(out.all_good_agree_on(&false));
+    }
+
+    /// Equivocating adversary: corrupts the first `t` processors and has
+    /// them send conflicting votes (true to even ids, false to odd) and
+    /// conflicting king bits when one of them is king.
+    struct Equivocator {
+        t: usize,
+    }
+
+    impl Adversary<PhaseKingProcess> for Equivocator {
+        fn act(
+            &mut self,
+            view: &AdvView<'_, PhaseKingProcess>,
+            _rng: &mut SimRng,
+        ) -> AdvAction<PkMsg> {
+            let mut action = AdvAction::none();
+            if view.round() == 0 {
+                action.corrupt = (0..self.t).map(ProcId::new).collect();
+                action.drop_pending_from = action.corrupt.clone();
+            }
+            let corrupt: Vec<ProcId> = if view.round() == 0 {
+                (0..self.t).map(ProcId::new).collect()
+            } else {
+                view.corrupt_set()
+            };
+            for c in corrupt {
+                for to in 0..view.n() {
+                    let bit = to % 2 == 0;
+                    action
+                        .inject
+                        .push(Envelope::new(c, ProcId::new(to), PkMsg::Vote(bit)));
+                    action
+                        .inject
+                        .push(Envelope::new(c, ProcId::new(to), PkMsg::King(bit)));
+                }
+            }
+            action
+        }
+    }
+
+    #[test]
+    fn tolerates_quarter_equivocators() {
+        let n = 20;
+        let cfg = PhaseKingConfig::for_n(n); // t = 4
+        let out = SimBuilder::new(n)
+            .seed(3)
+            .max_corruptions(cfg.t)
+            .build(
+                |p, _| PhaseKingProcess::new(cfg, p.index() % 2 == 0),
+                Equivocator { t: cfg.t },
+            )
+            .run(cfg.total_rounds() + 2);
+        assert!(out.all_good_agree(), "outputs: {:?}", out.outputs);
+    }
+
+    #[test]
+    fn validity_under_attack() {
+        // All good processors start true: decision must stay true.
+        let n = 20;
+        let cfg = PhaseKingConfig::for_n(n);
+        let out = SimBuilder::new(n)
+            .seed(4)
+            .max_corruptions(cfg.t)
+            .build(
+                |p, _| PhaseKingProcess::new(cfg, p.index() >= cfg.t),
+                Equivocator { t: cfg.t },
+            )
+            .run(cfg.total_rounds() + 2);
+        assert!(out.all_good_agree_on(&true));
+    }
+
+    #[test]
+    fn per_processor_bits_scale_linearly() {
+        // Θ(n) bits per processor per phase, Θ(n) phases → Θ(n²) per proc.
+        let bits_at = |n: usize| {
+            let out = run_clean(n, |i| i % 2 == 0);
+            out.metrics.bit_stats(|_| true).mean
+        };
+        let b16 = bits_at(16);
+        let b64 = bits_at(64);
+        // 4× processors → ≈16× bits per processor (2 orders in n).
+        let ratio = b64 / b16;
+        assert!(
+            (8.0..32.0).contains(&ratio),
+            "per-proc bit growth ratio {ratio}, want ≈16"
+        );
+    }
+
+    #[test]
+    fn rounds_match_schedule() {
+        let cfg = PhaseKingConfig::for_n(16);
+        let out = run_clean(16, |_| true);
+        assert!(out.rounds <= cfg.total_rounds() + 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Criterion micro-benchmarks for the protocol's hot primitives:
+//! field arithmetic, Shamir share/reconstruct, iterated dealing,
+//! sampler and regular-graph construction, the lightest-bin election,
+//! one committee-agreement execution, and one Algorithm-3 loop.
+
+use ba_core::aeba::{run_committee, AebaConfig, CommitteeAttack};
+use ba_core::ae_to_e::{AeToEConfig, AeToEProcess};
+use ba_core::election::lightest_bin;
+use ba_crypto::iterated::{Layer, ShareTree};
+use ba_crypto::{shamir, Gf16};
+use ba_sampler::{RegularGraph, Sampler};
+use ba_sim::{derive_rng, NullAdversary, SimBuilder};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::Rng;
+
+fn bench_gf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf16");
+    let a = Gf16::new(0x1234);
+    let b = Gf16::new(0xABCD);
+    g.bench_function("mul", |bch| bch.iter(|| black_box(a) * black_box(b)));
+    g.bench_function("inv", |bch| bch.iter(|| black_box(a).inv()));
+    g.finish();
+}
+
+fn bench_shamir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shamir");
+    let mut rng = derive_rng(1, 1);
+    let secret = Gf16::new(0xFEED);
+    for &n in &[16usize, 64, 256] {
+        let t = shamir::threshold_for(n);
+        g.bench_function(format!("share_n{n}"), |bch| {
+            bch.iter(|| shamir::share(black_box(secret), n, t, &mut rng).unwrap())
+        });
+        let shares = shamir::share(secret, n, t, &mut rng).unwrap();
+        g.bench_function(format!("reconstruct_n{n}"), |bch| {
+            bch.iter(|| shamir::reconstruct(black_box(&shares[..t + 1])).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_iterated(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iterated");
+    let mut rng = derive_rng(2, 2);
+    for depth in [1usize, 2, 3] {
+        let layers = vec![Layer::majority(8); depth];
+        g.bench_function(format!("deal_depth{depth}"), |bch| {
+            bch.iter(|| ShareTree::deal(black_box(Gf16::new(7)), &layers, &mut rng).unwrap())
+        });
+        let tree = ShareTree::deal(Gf16::new(7), &layers, &mut rng).unwrap();
+        g.bench_function(format!("recover_depth{depth}"), |bch| {
+            bch.iter(|| tree.recover(|_| true))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampler");
+    let mut rng = derive_rng(3, 3);
+    g.bench_function("random_1024x24", |bch| {
+        bch.iter(|| Sampler::random(1024, 1024, 24, &mut rng))
+    });
+    g.bench_function("regular_graph_1024_d60", |bch| {
+        bch.iter(|| RegularGraph::random_out_degree(1024, 60, &mut rng))
+    });
+    g.finish();
+}
+
+fn bench_election(c: &mut Criterion) {
+    let mut g = c.benchmark_group("election");
+    let mut rng = derive_rng(4, 4);
+    for r in [8usize, 64, 512] {
+        let bins = (r / 4).max(2);
+        let choices: Vec<u16> = (0..r).map(|_| rng.gen_range(0..bins as u16)).collect();
+        g.bench_function(format!("lightest_bin_r{r}"), |bch| {
+            bch.iter(|| lightest_bin(black_box(&choices), bins, (r / bins).max(1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_committee(c: &mut Criterion) {
+    let mut g = c.benchmark_group("committee_agreement");
+    g.sample_size(20);
+    let mut rng = derive_rng(5, 5);
+    for k in [32usize, 128] {
+        let degree = (6.0 * (k as f64).sqrt()).ceil() as usize;
+        let graph = RegularGraph::random_out_degree(k, degree.min(k - 1), &mut rng);
+        let good: Vec<bool> = (0..k).map(|i| i % 5 != 0).collect();
+        let inputs: Vec<bool> = (0..k).map(|i| i % 2 == 0).collect();
+        g.bench_function(format!("k{k}_20rounds"), |bch| {
+            bch.iter(|| {
+                run_committee(
+                    &good,
+                    &inputs,
+                    &graph,
+                    |i, r| (i + r) % 2 == 0,
+                    20,
+                    &AebaConfig::default(),
+                    CommitteeAttack::Oppose,
+                    &mut rng,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ae_to_e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ae_to_e");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        g.bench_function(format!("full_run_n{n}"), |bch| {
+            bch.iter(|| {
+                let cfg = AeToEConfig::for_n(n, 0.1);
+                let rounds = cfg.total_rounds();
+                SimBuilder::new(n)
+                    .seed(7)
+                    .build(
+                        |p, _| {
+                            AeToEProcess::new(cfg.clone(), (p.index() < 2 * n / 3).then_some(5))
+                        },
+                        NullAdversary,
+                    )
+                    .run(rounds + 1)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gf,
+    bench_shamir,
+    bench_iterated,
+    bench_sampler,
+    bench_election,
+    bench_committee,
+    bench_ae_to_e
+);
+criterion_main!(benches);

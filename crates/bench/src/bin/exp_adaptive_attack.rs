@@ -1,0 +1,125 @@
+//! E12: the adaptive-adversary headline — electing *arrays* survives the
+//! takeover attack that destroys electing *processors*.
+//!
+//! §1.3: "This election approach is prima facie impossible with an
+//! adaptive adversary, which can simply wait until a small set is elected
+//! and then take over all processors in that set." We build that strawman
+//! — a committee-election protocol where the elected processors' inputs
+//! decide — and race it against King–Saia under the same WinnerHunter
+//! adversary.
+
+use ba_bench::{f3, mean, par_trials, Table};
+use ba_core::attacks::{CustodyBuster, WinnerHunter};
+use ba_core::tournament::{self, NoTreeAdversary, TournamentConfig, TreeAdversary};
+use ba_sim::derive_rng;
+use rand::seq::SliceRandom;
+
+/// The strawman: processors are recursively elected up the same tree
+/// shape (uniformly at random among the children's delegates); the final
+/// committee's majority input is broadcast as the decision. The adaptive
+/// adversary corrupts delegates as soon as they are announced, with the
+/// same per-level schedule the tree adversary gets.
+fn strawman(n: usize, seed: u64, budget: usize, inputs: &[bool]) -> (bool, bool) {
+    let mut rng = derive_rng(seed, 0x57AA);
+    let mut corrupt = vec![false; n];
+    let mut budget = budget;
+    let mut delegates: Vec<usize> = (0..n).collect();
+    // Same shrink factor as the tournament: q = 4 per level, stop at a
+    // root committee of ≤ 16.
+    while delegates.len() > 16 {
+        delegates.shuffle(&mut rng);
+        delegates.truncate(delegates.len() / 4);
+        // Adaptive takeover: the adversary sees the elected set and
+        // corrupts as much of it as budget allows (smallest sets first —
+        // it waits for the final committee if the budget covers it).
+        if delegates.len() <= budget {
+            for &d in &delegates {
+                if !corrupt[d] && budget > 0 {
+                    corrupt[d] = true;
+                    budget -= 1;
+                }
+            }
+        }
+    }
+    let final_corrupt = delegates.iter().filter(|&&d| corrupt[d]).count();
+    // Corrupt delegates vote the minority bit of the good population.
+    let good_ones = (0..n).filter(|&i| !corrupt[i] && inputs[i]).count();
+    let good_total = (0..n).filter(|&i| !corrupt[i]).count().max(1);
+    let good_majority = 2 * good_ones >= good_total;
+    // Corrupt delegates vote against the good majority, so only good
+    // matching votes count toward it.
+    let votes_for_majority = delegates
+        .iter()
+        .filter(|&&d| !corrupt[d] && inputs[d] == good_majority)
+        .count();
+    let decided = votes_for_majority * 2 > delegates.len();
+    let decided_bit = if decided { good_majority } else { !good_majority };
+    let valid = (0..n).any(|i| !corrupt[i] && inputs[i] == decided_bit);
+    let _ = final_corrupt;
+    (decided_bit == good_majority, valid)
+}
+
+fn main() {
+    let n = 256;
+    let trials = 10u64;
+    println!("E12: adaptive takeover — elect-processors strawman vs King–Saia arrays, n = {n}\n");
+
+    // All good processors hold `true`; an execution "resists" when the
+    // decision matches.
+    let inputs: Vec<bool> = vec![true; n];
+    let budget = TournamentConfig::for_n(n).params.corruption_budget();
+
+    let table = Table::header(&["protocol", "resist%", "valid%"]);
+
+    let straw: Vec<(bool, bool)> =
+        par_trials(trials, |seed| strawman(n, seed, budget, &inputs));
+    table.row(&[
+        "strawman-elect".to_string(),
+        format!(
+            "{:.0}",
+            100.0 * straw.iter().filter(|r| r.0).count() as f64 / trials as f64
+        ),
+        format!(
+            "{:.0}",
+            100.0 * straw.iter().filter(|r| r.1).count() as f64 / trials as f64
+        ),
+    ]);
+
+    for (name, mk) in [
+        (
+            "ks-winnerhunt",
+            Box::new(|| Box::new(WinnerHunter) as Box<dyn TreeAdversary>)
+                as Box<dyn Fn() -> Box<dyn TreeAdversary> + Sync>,
+        ),
+        (
+            "ks-custody",
+            Box::new(|| Box::new(CustodyBuster::all_in()) as Box<dyn TreeAdversary>),
+        ),
+        ("ks-clean", Box::new(|| Box::new(NoTreeAdversary) as Box<dyn TreeAdversary>)),
+    ] {
+        let res: Vec<(bool, bool, f64)> = par_trials(trials, |seed| {
+            let config = TournamentConfig::for_n(n).with_seed(seed);
+            let mut adv = mk();
+            let out = tournament::run(&config, &inputs, &mut adv);
+            (out.decided, out.valid, out.agreement_fraction)
+        });
+        table.row(&[
+            name.to_string(),
+            format!(
+                "{:.0}",
+                100.0 * res.iter().filter(|r| r.0).count() as f64 / trials as f64
+            ),
+            format!(
+                "{:.0}",
+                100.0 * res.iter().filter(|r| r.1).count() as f64 / trials as f64
+            ),
+        ]);
+        let agr = mean(&res.iter().map(|r| r.2).collect::<Vec<_>>());
+        println!("    ({name}: mean agreement {})", f3(agr));
+    }
+
+    println!("\npaper claim (§1.3): waiting for the elected set and seizing it kills");
+    println!("processor elections (the strawman's final committee fits inside the");
+    println!("adversary budget), while elected *arrays* of pre-dealt secrets are");
+    println!("worthless to corrupt after the fact.");
+}

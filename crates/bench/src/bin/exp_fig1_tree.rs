@@ -1,0 +1,84 @@
+//! E10 (Figure 1, §3.6/Lemma 5): the tournament tree and its per-phase
+//! communication breakdown.
+//!
+//! Renders the Figure-1 structure (committees per level, candidate flow)
+//! for a small instance, then decomposes bits per phase — share-up /
+//! expose / agree / send-winners — per level, the quantities Lemma 5's
+//! cost accounting sums.
+
+use ba_bench::Table;
+use ba_core::tournament::{self, NoTreeAdversary, TournamentConfig};
+use ba_topology::{NodeAddr, Params, Tree};
+
+fn main() {
+    // ---- Figure 1 left: the tree itself -----------------------------------
+    let n = 64;
+    let params = Params::practical(n);
+    let tree = Tree::generate(&params, 1);
+    println!("E10a: the communication tree at n = {n} (Figure 1 structure)\n");
+    for level in (1..=params.levels).rev() {
+        let count = params.node_count(level);
+        let k = params.node_size(level);
+        let marker = if level == params.levels {
+            "root"
+        } else if level == 1 {
+            "leaves"
+        } else {
+            ""
+        };
+        println!(
+            "level {level:>2} {marker:<7}: {count:>4} committees × {k:>4} processors, \
+             {cand} candidate arrays per election",
+            cand = if level >= 2 { params.candidates_at(level) } else { 0 },
+        );
+    }
+    // A few example committees, Figure-1 style.
+    println!("\nexample committees (seed 1):");
+    for level in (1..=params.levels).rev() {
+        let at = NodeAddr::new(level, 0);
+        let members = tree.members(at);
+        let shown: Vec<String> = members.iter().take(8).map(|m| m.to_string()).collect();
+        println!(
+            "  level {level}, node 0: {{{}{}}}",
+            shown.join(","),
+            if members.len() > 8 { ",…" } else { "" }
+        );
+    }
+
+    // ---- Figure 1 right: per-phase bits -----------------------------------
+    println!("\nE10b: per-level phase bit breakdown at n = 256 (expose / agree / winners)\n");
+    let n = 256;
+    let config = TournamentConfig::for_n(n).with_seed(2);
+    let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    let out = tournament::run(&config, &inputs, &mut NoTreeAdversary);
+    let table = Table::header(&[
+        "level",
+        "candidates",
+        "winners",
+        "expose_bits",
+        "agree_bits",
+        "winner_bits",
+        "mean_agr",
+    ]);
+    for s in &out.level_stats {
+        table.row(&[
+            s.level.to_string(),
+            s.candidates.to_string(),
+            s.winners.to_string(),
+            s.expose_bits.to_string(),
+            s.agree_bits.to_string(),
+            s.winner_bits.to_string(),
+            format!("{:.3}", s.mean_agreement),
+        ]);
+    }
+
+    let stats = out.good_bit_stats();
+    println!(
+        "\ntotal: decided={} agreement={:.3} rounds={} bits/proc mean={:.0} max={}",
+        out.decided, out.agreement_fraction, out.rounds, stats.mean, stats.max
+    );
+    println!("\nFigure 1's phases per level — expose bin choices (sendDown+sendOpen),");
+    println!("agree bin choices (coin expose + gossip per candidate), send winner");
+    println!("shares up — execute in that order at every election node; candidate");
+    println!("counts match the w-per-child flow shown in the figure.");
+}

@@ -1,0 +1,82 @@
+//! E6 (Lemma 6): the fraction of good arrays surviving each tournament
+//! level stays near 2/3 — the paper bounds the loss at `7ℓ/log n` per
+//! level ℓ.
+//!
+//! Runs the tournament under the budget-level static adversary and the
+//! adaptive custody-buster and prints good-candidate / good-winner
+//! fractions per level.
+
+use ba_bench::{f3, mean, par_trials, Table};
+use ba_core::aeba::CommitteeAttack;
+use ba_core::attacks::{CustodyBuster, StaticThird, WinnerHunter};
+use ba_core::tournament::{self, LevelStats, TournamentConfig, TreeAdversary};
+
+fn collect(n: usize, trials: u64, mk: impl Fn() -> Box<dyn TreeAdversary> + Sync) -> Vec<Vec<LevelStats>> {
+    par_trials(trials, |seed| {
+        let config = TournamentConfig::for_n(n).with_seed(seed);
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let mut adv = mk();
+        tournament::run(&config, &inputs, &mut adv).level_stats
+    })
+}
+
+fn print_for(name: &str, runs: &[Vec<LevelStats>]) {
+    println!("adversary: {name}");
+    let levels = runs[0].len();
+    let table = Table::header(&["level", "good_cand", "good_win", "bad_elec%", "agreement"]);
+    for li in 0..levels {
+        let gc = mean(
+            &runs
+                .iter()
+                .map(|r| r[li].good_candidates as f64 / r[li].candidates.max(1) as f64)
+                .collect::<Vec<_>>(),
+        );
+        let gw = mean(
+            &runs
+                .iter()
+                .map(|r| r[li].good_winners as f64 / r[li].winners.max(1) as f64)
+                .collect::<Vec<_>>(),
+        );
+        let be = mean(
+            &runs
+                .iter()
+                .map(|r| 100.0 * r[li].bad_elections as f64 / r[li].elections.max(1) as f64)
+                .collect::<Vec<_>>(),
+        );
+        let agr = mean(&runs.iter().map(|r| r[li].mean_agreement).collect::<Vec<_>>());
+        table.row(&[
+            runs[0][li].level.to_string(),
+            f3(gc),
+            f3(gw),
+            f3(be),
+            f3(agr),
+        ]);
+    }
+    println!();
+}
+
+fn main() {
+    let n = 512;
+    let trials = 5u64;
+    println!("E6: good-array survival per tournament level, n = {n} ({trials} seeds)\n");
+
+    let clean = collect(n, trials, || Box::new(tournament::NoTreeAdversary));
+    print_for("none", &clean);
+
+    let stat = collect(n, trials, || {
+        Box::new(StaticThird {
+            attack: CommitteeAttack::Oppose,
+        })
+    });
+    print_for("static-budget (oppose)", &stat);
+
+    let hunter = collect(n, trials, || Box::new(WinnerHunter));
+    print_for("winner-hunter (adaptive)", &hunter);
+
+    let buster = collect(n, trials, || Box::new(CustodyBuster::all_in()));
+    print_for("custody-buster (adaptive)", &buster);
+
+    println!("paper claim (Lemma 6): good winners ≥ 2/3 − 7ℓ/log n at every level ℓ;");
+    println!("the static adversary's good fraction enters at ≈ 1 − (1/3 − ε) ≈ 0.77 and");
+    println!("decays by at most O(1/log n) per level.");
+}

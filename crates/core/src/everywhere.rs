@@ -1,0 +1,281 @@
+//! Algorithm 4: everywhere Byzantine agreement in `Õ(√n)` bits per
+//! processor (paper §5, Theorem 1).
+//!
+//! The composition:
+//!
+//! 1. run the tournament (Algorithm 2 + §3.5): almost all good processors
+//!    agree on a bit and on a global coin subsequence;
+//! 2. run Algorithm 3 (`Θ(log n)` loops), with each loop's global label
+//!    drawn by `GenerateSecretNumber` from the coin subsequence, spreading
+//!    the bit from the knowledgeable majority to *every* good processor.
+//!
+//! The `Õ(√n)`-bit Algorithm-3 phase dominates the per-processor cost
+//! (§5: "each execution of AlmostEverywhereToEverywhere takes Õ(√n) bits
+//! per processor, which dominates the cost").
+
+use crate::ae_to_e::{AeToEConfig, AeToEOutcome, AeToEProcess};
+use crate::coin::CoinSequence;
+use crate::tournament::{self, TournamentConfig, TournamentOutcome, TreeAdversary};
+use ba_sim::{Adversary, BitStats, ProcId, SimBuilder};
+
+/// Configuration for the full Algorithm 4 stack.
+#[derive(Clone, Debug)]
+pub struct EverywhereConfig {
+    /// Tournament (Algorithm 2 + §3.5) configuration.
+    pub tournament: TournamentConfig,
+    /// Algorithm 3 configuration.
+    pub ae: AeToEConfig,
+    /// Engine seed for the Algorithm-3 phase.
+    pub sim_seed: u64,
+}
+
+impl EverywhereConfig {
+    /// Paper-shaped defaults for `n` processors.
+    pub fn for_n(n: usize) -> Self {
+        let tournament = TournamentConfig::for_n(n);
+        let eps = tournament.params.eps;
+        EverywhereConfig {
+            tournament,
+            ae: AeToEConfig::for_n(n, eps),
+            sim_seed: 1,
+        }
+    }
+
+    /// Overrides both phase seeds at once.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.tournament.seed = seed;
+        self.sim_seed = seed ^ 0x5151_5151;
+        self
+    }
+}
+
+/// Result of a full everywhere-agreement execution.
+#[derive(Clone, Debug)]
+pub struct EverywhereOutcome {
+    /// Phase-1 result (kept whole for experiment drill-down).
+    pub tournament: TournamentOutcome,
+    /// Phase-2 tally.
+    pub ae: AeToEOutcome,
+    /// Final per-processor decisions (`None` = corrupted or undecided).
+    pub decisions: Vec<Option<bool>>,
+    /// Whether every good processor decided the same bit.
+    pub everywhere_agreement: bool,
+    /// Whether the decided bit was a good processor's input.
+    pub valid: bool,
+    /// Total bits sent per processor across both phases.
+    pub bits_per_proc: Vec<u64>,
+    /// Total synchronous rounds across both phases.
+    pub rounds: usize,
+    /// Final corruption flags.
+    pub corrupt: Vec<bool>,
+}
+
+impl EverywhereOutcome {
+    /// Bit statistics over good processors (the Theorem 1 metric).
+    pub fn good_bit_stats(&self) -> BitStats {
+        let sel: Vec<u64> = self
+            .bits_per_proc
+            .iter()
+            .zip(&self.corrupt)
+            .filter(|(_, &c)| !c)
+            .map(|(&b, _)| b)
+            .collect();
+        BitStats::from_samples(&sel)
+    }
+}
+
+/// Runs Algorithm 4: tournament, then coin-driven Algorithm 3. The tree
+/// adversary acts during phase 1; `ae_adversary` acts during phase 2
+/// (pass [`ba_sim::NullAdversary`] for none). Corruptions persist across
+/// the phase boundary.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the configured `n`.
+pub fn run<T, A>(
+    config: &EverywhereConfig,
+    inputs: &[bool],
+    tree_adversary: &mut T,
+    ae_adversary: A,
+) -> EverywhereOutcome
+where
+    T: TreeAdversary,
+    A: Adversary<AeToEProcess>,
+{
+    let n = config.tournament.params.n;
+    assert_eq!(inputs.len(), n, "inputs must cover all processors");
+
+    // ---- Phase 1: Algorithm 2 + §3.5 ----
+    let t_out = tournament::run(&config.tournament, inputs, tree_adversary);
+    let coins = CoinSequence::from_tournament(&t_out);
+    let m: u64 = u64::from(t_out.decided);
+
+    // ---- Phase 2: Algorithm 3, labels from GenerateSecretNumber ----
+    let ae_cfg = {
+        let mut c = config.ae.clone();
+        if !coins.is_empty() {
+            c = c.with_label_schedule(coins.values());
+        }
+        c
+    };
+    let rounds = ae_cfg.total_rounds();
+    // Knowledgeable = good processors holding the plurality bit after
+    // phase 1 (§4: "knowledgeable if it is good and agrees on m").
+    let knowledgeable: Vec<bool> = t_out
+        .decisions
+        .iter()
+        .map(|d| *d == Some(t_out.decided))
+        .collect();
+    let budget_left = config
+        .tournament
+        .params
+        .corruption_budget()
+        .saturating_sub(t_out.corrupt.iter().filter(|&&c| c).count());
+    let sim_outcome = {
+        let pre_corrupt = t_out.corrupt.clone();
+        let sim = SimBuilder::new(n)
+            .seed(config.sim_seed)
+            .max_corruptions(pre_corrupt.iter().filter(|&&c| c).count() + budget_left)
+            .build(
+                |p, _| {
+                    let k = knowledgeable[p.index()].then_some(m);
+                    AeToEProcess::new(ae_cfg.clone(), k)
+                },
+                PreCorrupted {
+                    targets: pre_corrupt,
+                    inner: ae_adversary,
+                },
+            );
+        sim.run(rounds + 1)
+    };
+
+    let ae = AeToEOutcome::from_outputs(&sim_outcome.outputs, &sim_outcome.corrupt, m);
+    let decisions: Vec<Option<bool>> = sim_outcome
+        .outputs
+        .iter()
+        .zip(&sim_outcome.corrupt)
+        .map(|(o, &c)| {
+            if c {
+                None
+            } else {
+                o.map(|v| v != 0)
+            }
+        })
+        .collect();
+    let everywhere_agreement = decisions
+        .iter()
+        .zip(&sim_outcome.corrupt)
+        .filter(|(_, &c)| !c)
+        .all(|(d, _)| *d == Some(t_out.decided));
+    let bits_per_proc: Vec<u64> = (0..n)
+        .map(|i| t_out.bits_per_proc[i] + sim_outcome.metrics.bits_sent_by(ProcId::new(i)))
+        .collect();
+    EverywhereOutcome {
+        valid: t_out.valid,
+        rounds: t_out.rounds + sim_outcome.rounds,
+        corrupt: sim_outcome.corrupt.clone(),
+        tournament: t_out,
+        ae,
+        decisions,
+        everywhere_agreement,
+        bits_per_proc,
+    }
+}
+
+/// Adapter that re-applies phase-1 corruptions at round 0 of phase 2 and
+/// then delegates to the wrapped phase-2 adversary.
+struct PreCorrupted<A> {
+    targets: Vec<bool>,
+    inner: A,
+}
+
+impl<A: Adversary<AeToEProcess>> Adversary<AeToEProcess> for PreCorrupted<A> {
+    fn act(
+        &mut self,
+        view: &ba_sim::AdvView<'_, AeToEProcess>,
+        rng: &mut ba_sim::SimRng,
+    ) -> ba_sim::AdvAction<crate::ae_to_e::AeMsg> {
+        let mut action = self.inner.act(view, rng);
+        if view.round() == 0 {
+            let mut carried: Vec<ProcId> = self
+                .targets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c)
+                .map(|(i, _)| ProcId::new(i))
+                .collect();
+            carried.extend(action.corrupt);
+            action.corrupt = carried;
+        }
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tournament::NoTreeAdversary;
+    use ba_sim::NullAdversary;
+
+    #[test]
+    fn clean_run_reaches_everywhere_agreement() {
+        let n = 64;
+        let config = EverywhereConfig::for_n(n).with_seed(3);
+        let out = run(
+            &config,
+            &vec![true; n],
+            &mut NoTreeAdversary,
+            NullAdversary,
+        );
+        assert!(out.valid);
+        assert!(out.everywhere_agreement, "ae tally: {:?}", out.ae);
+        assert_eq!(out.ae.wrong, 0);
+        assert!(out.decisions.iter().all(|d| *d == Some(true)));
+    }
+
+    #[test]
+    fn split_inputs_agree_on_some_input() {
+        let n = 64;
+        let config = EverywhereConfig::for_n(n).with_seed(4);
+        let inputs: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let out = run(&config, &inputs, &mut NoTreeAdversary, NullAdversary);
+        assert!(out.valid);
+        assert!(out.everywhere_agreement);
+    }
+
+    #[test]
+    fn bits_combine_both_phases() {
+        let n = 64;
+        let config = EverywhereConfig::for_n(n).with_seed(5);
+        let out = run(
+            &config,
+            &vec![false; n],
+            &mut NoTreeAdversary,
+            NullAdversary,
+        );
+        for i in 0..n {
+            assert!(
+                out.bits_per_proc[i] >= out.tournament.bits_per_proc[i],
+                "phase-2 bits must add on"
+            );
+        }
+        assert!(out.rounds > out.tournament.rounds);
+        let stats = out.good_bit_stats();
+        assert!(stats.min > 0);
+    }
+
+    #[test]
+    fn coin_schedule_feeds_labels() {
+        let n = 64;
+        let config = EverywhereConfig::for_n(n).with_seed(6);
+        let out = run(
+            &config,
+            &vec![true; n],
+            &mut NoTreeAdversary,
+            NullAdversary,
+        );
+        // The tournament produced coins, so Algorithm 3 ran on them.
+        assert!(!out.tournament.coin_words.is_empty());
+        assert!(out.everywhere_agreement);
+    }
+}

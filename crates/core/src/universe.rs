@@ -1,0 +1,161 @@
+//! Universe reduction (paper §1.2, §2).
+//!
+//! The paper's techniques "also lead to solutions with Õ(√n) bit
+//! complexity for universe reduction" — electing a small *representative*
+//! subset of processors: one whose bad fraction is not much more than the
+//! population's. With an adaptive adversary a representative subset of
+//! *identities* is useless on its own (the adversary corrupts it after
+//! the announcement), so the meaningful artifact is a representative
+//! subset selected by **post-agreement public randomness**: the global
+//! coin subsequence. Corrupting the selected members after selection is
+//! priced separately by the consumer (e.g. re-select per task, as
+//! Algorand-style sortition does per round).
+//!
+//! [`reduce_universe`] draws the committee from a [`CoinSequence`];
+//! [`Representativeness`] quantifies the result against a corrupt set.
+
+use crate::coin::CoinSequence;
+
+/// Draws a `size`-member committee from `n` processors using successive
+/// coin-sequence words (rejection-sampling duplicates). Returns fewer
+/// members only if the sequence runs out of words.
+///
+/// Deterministic given the sequence, so every processor that agrees on
+/// the subsequence agrees on the committee — that is the whole point.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n ≥ 2¹⁶` (word-indexable universes only).
+pub fn reduce_universe(coins: &CoinSequence, n: usize, size: usize) -> Vec<u16> {
+    assert!(n > 0, "universe must be non-empty");
+    assert!(n < (1 << 16), "universe must be word-indexable");
+    let mut committee = Vec::with_capacity(size);
+    let mut i = 0;
+    while committee.len() < size && i < coins.len() {
+        if let Some(pick) = coins.number(i, n as u16) {
+            if !committee.contains(&pick) {
+                committee.push(pick);
+            }
+        }
+        i += 1;
+    }
+    committee
+}
+
+/// How representative a committee is relative to the full population.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Representativeness {
+    /// Corrupt fraction in the whole population.
+    pub population_bad: f64,
+    /// Corrupt fraction in the committee.
+    pub committee_bad: f64,
+    /// `committee_bad − population_bad` (the sampler-style excess θ).
+    pub excess: f64,
+}
+
+impl Representativeness {
+    /// Measures a committee against corruption flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the committee is empty or indexes out of range.
+    pub fn measure(committee: &[u16], corrupt: &[bool]) -> Self {
+        assert!(!committee.is_empty(), "cannot measure an empty committee");
+        let population_bad =
+            corrupt.iter().filter(|&&c| c).count() as f64 / corrupt.len() as f64;
+        let committee_bad = committee
+            .iter()
+            .filter(|&&m| corrupt[m as usize])
+            .count() as f64
+            / committee.len() as f64;
+        Representativeness {
+            population_bad,
+            committee_bad,
+            excess: committee_bad - population_bad,
+        }
+    }
+
+    /// Whether the committee keeps an honest majority.
+    pub fn honest_majority(&self) -> bool {
+        self.committee_bad < 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tournament::CoinWord;
+
+    fn seq(values: &[u16]) -> CoinSequence {
+        CoinSequence::new(
+            values
+                .iter()
+                .map(|&value| CoinWord { value, good: true })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn committee_is_deterministic_and_distinct() {
+        let coins = seq(&[5, 9, 5, 13, 2, 9, 7]);
+        let c1 = reduce_universe(&coins, 16, 4);
+        let c2 = reduce_universe(&coins, 16, 4);
+        assert_eq!(c1, c2);
+        assert_eq!(c1, vec![5, 9, 13, 2]);
+        let mut d = c1.clone();
+        d.dedup();
+        assert_eq!(d.len(), c1.len());
+    }
+
+    #[test]
+    fn short_sequence_yields_short_committee() {
+        let coins = seq(&[1, 1, 1]);
+        let c = reduce_universe(&coins, 8, 3);
+        assert_eq!(c, vec![1]);
+    }
+
+    #[test]
+    fn representativeness_math() {
+        let corrupt = vec![true, false, false, false]; // 25% bad
+        let r = Representativeness::measure(&[0, 1], &corrupt);
+        assert!((r.population_bad - 0.25).abs() < 1e-12);
+        assert!((r.committee_bad - 0.5).abs() < 1e-12);
+        assert!((r.excess - 0.25).abs() < 1e-12);
+        assert!(!r.honest_majority());
+        let r = Representativeness::measure(&[1, 2, 3], &corrupt);
+        assert_eq!(r.committee_bad, 0.0);
+        assert!(r.honest_majority());
+    }
+
+    #[test]
+    fn random_words_give_representative_committees() {
+        // 1000 processors, 25% corrupt, committees of 15 from pseudo-
+        // uniform words: average excess near zero.
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let corrupt: Vec<bool> = (0..1000).map(|i| i % 4 == 0).collect();
+        let mut excess_sum = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            let words: Vec<u16> = (0..40).map(|_| rng.gen()).collect();
+            let c = reduce_universe(&seq(&words), 1000, 15);
+            assert_eq!(c.len(), 15);
+            excess_sum += Representativeness::measure(&c, &corrupt).excess;
+        }
+        let avg = excess_sum / trials as f64;
+        assert!(avg.abs() < 0.05, "average excess {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_universe_rejected() {
+        let _ = reduce_universe(&seq(&[1]), 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty committee")]
+    fn empty_committee_rejected() {
+        let _ = Representativeness::measure(&[], &[false]);
+    }
+}

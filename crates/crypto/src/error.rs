@@ -1,0 +1,81 @@
+//! Error type for secret-sharing operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from secret-sharing operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The requested `(n, t+1)` parameters are unusable (e.g. `t ≥ n`, or
+    /// more shares requested than field evaluation points).
+    InvalidParams {
+        /// Requested number of shares.
+        n: usize,
+        /// Requested threshold (degree of the sharing polynomial).
+        t: usize,
+    },
+    /// Reconstruction was attempted with fewer than `t+1` shares.
+    TooFewShares {
+        /// Shares provided.
+        have: usize,
+        /// Shares required.
+        need: usize,
+    },
+    /// Two provided shares claim the same evaluation point.
+    DuplicateShareIndex {
+        /// The colliding x-coordinate (as a raw field element).
+        x: u16,
+    },
+    /// Reconstruction of a sequence received shares of inconsistent length.
+    LengthMismatch {
+        /// Expected number of words.
+        expected: usize,
+        /// Actual number of words.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CryptoError::InvalidParams { n, t } => {
+                write!(f, "invalid sharing parameters: n={n}, t={t}")
+            }
+            CryptoError::TooFewShares { have, need } => {
+                write!(f, "too few shares to reconstruct: have {have}, need {need}")
+            }
+            CryptoError::DuplicateShareIndex { x } => {
+                write!(f, "duplicate share index x={x:#06x}")
+            }
+            CryptoError::LengthMismatch { expected, actual } => {
+                write!(f, "share length mismatch: expected {expected} words, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CryptoError::TooFewShares { have: 2, need: 4 };
+        assert!(e.to_string().contains("have 2"));
+        assert!(e.to_string().contains("need 4"));
+        let e = CryptoError::InvalidParams { n: 0, t: 5 };
+        assert!(e.to_string().contains("n=0"));
+        let e = CryptoError::DuplicateShareIndex { x: 0xab };
+        assert!(e.to_string().contains("0x00ab"));
+        let e = CryptoError::LengthMismatch { expected: 3, actual: 1 };
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&CryptoError::TooFewShares { have: 0, need: 1 });
+    }
+}

@@ -1,0 +1,323 @@
+//! The finite field GF(2¹⁶).
+//!
+//! Words in the protocol (bin choices, coin words, secret payloads) are
+//! 16-bit quantities, so all secret sharing happens over GF(2¹⁶) with the
+//! irreducible polynomial `x¹⁶ + x¹² + x³ + x + 1` (0x1100B). Field
+//! operations use carry-less shift-and-xor multiplication and Fermat
+//! inversion — branch-free of secret-dependent table lookups and fast
+//! enough for every experiment in the repository.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The reduction polynomial `x¹⁶ + x¹² + x³ + x + 1` without its leading
+/// term, i.e. the feedback mask applied when a product overflows 16 bits.
+const POLY_LOW: u16 = 0x100B;
+
+/// An element of GF(2¹⁶).
+///
+/// Addition is XOR (characteristic 2), multiplication is polynomial
+/// multiplication modulo 0x1100B. The type is `Copy` and all operators are
+/// overloaded, so field code reads like ordinary arithmetic:
+///
+/// ```rust
+/// use ba_crypto::Gf16;
+/// let a = Gf16::new(0x1234);
+/// let b = Gf16::new(0x5678);
+/// assert_eq!(a + b, b + a);
+/// assert_eq!(a * b * b.inv().unwrap(), a);
+/// assert_eq!(a - a, Gf16::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gf16(u16);
+
+impl Gf16 {
+    /// The additive identity.
+    pub const ZERO: Gf16 = Gf16(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf16 = Gf16(1);
+    /// Number of elements in the field.
+    pub const ORDER: u32 = 1 << 16;
+
+    /// Wraps a raw 16-bit word as a field element.
+    pub fn new(raw: u16) -> Self {
+        Gf16(raw)
+    }
+
+    /// The raw 16-bit representation.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is the zero element.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Field multiplication (carry-less, reduced modulo 0x1100B).
+    fn gf_mul(a: u16, b: u16) -> u16 {
+        let mut acc: u16 = 0;
+        let mut a = a;
+        let mut b = b;
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            b >>= 1;
+            let carry = a & 0x8000 != 0;
+            a <<= 1;
+            if carry {
+                a ^= POLY_LOW;
+            }
+        }
+        acc
+    }
+
+    /// Raises to an arbitrary power by square-and-multiply.
+    pub fn pow(self, mut e: u32) -> Self {
+        let mut base = self;
+        let mut acc = Gf16::ONE;
+        while e != 0 {
+            if e & 1 != 0 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// The multiplicative inverse, or `None` for zero.
+    ///
+    /// Uses Fermat: `a⁻¹ = a^(2¹⁶ − 2)` in GF(2¹⁶).
+    pub fn inv(self) -> Option<Self> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(self.pow(Self::ORDER - 2))
+        }
+    }
+}
+
+impl fmt::Debug for Gf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf16({:#06x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}", self.0)
+    }
+}
+
+impl From<u16> for Gf16 {
+    fn from(raw: u16) -> Self {
+        Gf16(raw)
+    }
+}
+
+impl From<Gf16> for u16 {
+    fn from(x: Gf16) -> u16 {
+        x.0
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl Add for Gf16 {
+    type Output = Gf16;
+    fn add(self, rhs: Gf16) -> Gf16 {
+        Gf16(self.0 ^ rhs.0)
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl AddAssign for Gf16 {
+    fn add_assign(&mut self, rhs: Gf16) {
+        self.0 ^= rhs.0;
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl Sub for Gf16 {
+    type Output = Gf16;
+    fn sub(self, rhs: Gf16) -> Gf16 {
+        // Characteristic 2: subtraction is addition.
+        self + rhs
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl SubAssign for Gf16 {
+    fn sub_assign(&mut self, rhs: Gf16) {
+        *self += rhs;
+    }
+}
+
+impl Neg for Gf16 {
+    type Output = Gf16;
+    fn neg(self) -> Gf16 {
+        self
+    }
+}
+
+impl Mul for Gf16 {
+    type Output = Gf16;
+    fn mul(self, rhs: Gf16) -> Gf16 {
+        Gf16(Self::gf_mul(self.0, rhs.0))
+    }
+}
+
+impl MulAssign for Gf16 {
+    fn mul_assign(&mut self, rhs: Gf16) {
+        *self = *self * rhs;
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl Div for Gf16 {
+    type Output = Gf16;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: Gf16) -> Gf16 {
+        self * rhs.inv().expect("division by zero in GF(2^16)")
+    }
+}
+
+impl Sum for Gf16 {
+    fn sum<I: Iterator<Item = Gf16>>(iter: I) -> Gf16 {
+        iter.fold(Gf16::ZERO, Add::add)
+    }
+}
+
+impl Product for Gf16 {
+    fn product<I: Iterator<Item = Gf16>>(iter: I) -> Gf16 {
+        iter.fold(Gf16::ONE, Mul::mul)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identities() {
+        let a = Gf16::new(0xABCD);
+        assert_eq!(a + Gf16::ZERO, a);
+        assert_eq!(a * Gf16::ONE, a);
+        assert_eq!(a * Gf16::ZERO, Gf16::ZERO);
+        assert_eq!(a + a, Gf16::ZERO); // characteristic 2
+        assert_eq!(-a, a);
+    }
+
+    #[test]
+    fn reduction_polynomial_is_irreducible() {
+        // Frobenius criterion: x^(2^16) == x and x^(2^8) != x in the field,
+        // where "x" is the element represented by the polynomial x (0b10).
+        let x = Gf16::new(2);
+        let mut t = x;
+        for _ in 0..8 {
+            t *= t;
+        }
+        assert_ne!(t, x, "x^(2^8) must differ from x for irreducibility");
+        for _ in 0..8 {
+            t *= t;
+        }
+        assert_eq!(t, x, "x^(2^16) must equal x in a degree-16 field");
+    }
+
+    #[test]
+    fn known_product() {
+        // x * x = x^2.
+        assert_eq!(Gf16::new(2) * Gf16::new(2), Gf16::new(4));
+        // x^15 * x = x^16 = x^12 + x^3 + x + 1 (mod poly).
+        assert_eq!(Gf16::new(1 << 15) * Gf16::new(2), Gf16::new(POLY_LOW));
+    }
+
+    #[test]
+    fn inverse_of_zero_is_none() {
+        assert!(Gf16::ZERO.inv().is_none());
+        assert_eq!(Gf16::ONE.inv(), Some(Gf16::ONE));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf16::ONE / Gf16::ZERO;
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let a = Gf16::new(0x1234);
+        assert_eq!(a.pow(0), Gf16::ONE);
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(2), a * a);
+        assert_eq!(Gf16::ZERO.pow(0), Gf16::ONE);
+        assert_eq!(Gf16::ZERO.pow(5), Gf16::ZERO);
+    }
+
+    #[test]
+    fn sum_and_product_impls() {
+        let xs = [Gf16::new(1), Gf16::new(2), Gf16::new(3)];
+        assert_eq!(xs.iter().copied().sum::<Gf16>(), Gf16::new(0));
+        assert_eq!(xs.iter().copied().product::<Gf16>(), Gf16::new(6));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Gf16::new(0xab).to_string(), "0x00ab");
+        assert_eq!(format!("{:?}", Gf16::new(0xab)), "Gf16(0x00ab)");
+    }
+
+    fn arb_gf() -> impl Strategy<Value = Gf16> {
+        any::<u16>().prop_map(Gf16::new)
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutative(a in arb_gf(), b in arb_gf()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn mul_commutative(a in arb_gf(), b in arb_gf()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn mul_associative(a in arb_gf(), b in arb_gf(), c in arb_gf()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn distributive(a in arb_gf(), b in arb_gf(), c in arb_gf()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn inverse_roundtrip(a in arb_gf()) {
+            if let Some(ai) = a.inv() {
+                prop_assert_eq!(a * ai, Gf16::ONE);
+                prop_assert_eq!(a / a, Gf16::ONE);
+            } else {
+                prop_assert!(a.is_zero());
+            }
+        }
+
+        #[test]
+        fn sub_is_add(a in arb_gf(), b in arb_gf()) {
+            prop_assert_eq!(a - b, a + b);
+            prop_assert_eq!((a + b) - b, a);
+        }
+
+        #[test]
+        fn no_zero_divisors(a in arb_gf(), b in arb_gf()) {
+            if (a * b).is_zero() {
+                prop_assert!(a.is_zero() || b.is_zero());
+            }
+        }
+    }
+}

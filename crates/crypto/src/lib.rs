@@ -1,0 +1,49 @@
+//! # ba-crypto — information-theoretic secret sharing for King–Saia BA
+//!
+//! The paper (§3.1) assumes "any (non-verifiable) secret sharing scheme
+//! which is an `(n, t+1)` threshold scheme" and then *iterates* it: a share
+//! is itself treated as a secret and re-shared with a fresh committee,
+//! producing `i`-shares (shares of shares of ... of the secret). Lemma 1
+//! shows an adversary holding at most `t_i` of the `i`-shares of every
+//! `i−1`-share learns nothing.
+//!
+//! This crate provides the canonical instantiation:
+//!
+//! * [`Gf16`] — the field GF(2¹⁶), matching the paper's "words" (bin
+//!   choices and coin words are `log numBins ≤ 16` bit quantities);
+//! * [`shamir`] — Shamir polynomial sharing over that field, threshold
+//!   `t = n/2` by default as in §3.1 ("this is quite robust, as any
+//!   t ∈ [1/3, 2/3] would work");
+//! * [`iterated`] — shares-of-shares machinery: the [`iterated::ShareTree`]
+//!   reference model used to validate the secrecy/recoverability laws that
+//!   the protocol's `sendSecretUp`/`sendDown` rely on (Lemma 1, Lemma 3).
+//!
+//! Everything is information-theoretic; there are no computational
+//! assumptions anywhere in the crate, mirroring the paper's model ("we make
+//! no other cryptographic assumptions").
+//!
+//! ```rust
+//! use ba_crypto::{Gf16, shamir};
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//!
+//! let secret = Gf16::new(0xBEEF);
+//! let shares = shamir::share(secret, 7, 3, &mut rng)?;
+//! // Any 4 = t+1 shares reconstruct…
+//! let got = shamir::reconstruct(&shares[..4])?;
+//! assert_eq!(got, secret);
+//! # Ok::<(), ba_crypto::CryptoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod gf;
+pub mod iterated;
+pub mod poly;
+pub mod shamir;
+
+pub use error::CryptoError;
+pub use gf::Gf16;
+pub use shamir::Share;

@@ -1,0 +1,352 @@
+//! Shamir `(n, t+1)` threshold secret sharing over GF(2¹⁶).
+//!
+//! The dealer embeds the secret as the constant term of a uniformly random
+//! degree-`t` polynomial and hands processor `j` the evaluation at
+//! `x = j+1`. Any `t+1` shares determine the polynomial (Lagrange) and
+//! hence the secret; any `t` or fewer are jointly uniform and carry no
+//! information (paper §3.1: "every message which is the size of M is
+//! consistent with any subset of t or fewer shares").
+//!
+//! The paper fixes `t = n/2` for the tree protocol; [`threshold_for`]
+//! computes that default.
+
+use crate::error::CryptoError;
+use crate::gf::Gf16;
+use crate::poly::Poly;
+use rand::Rng;
+
+/// One Shamir share: the evaluation point and value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Share {
+    /// The evaluation point `x ≠ 0`. Conventionally `x = holder index + 1`.
+    pub x: Gf16,
+    /// The polynomial value at `x`.
+    pub y: Gf16,
+}
+
+impl Share {
+    /// Creates a share.
+    pub fn new(x: Gf16, y: Gf16) -> Self {
+        Share { x, y }
+    }
+}
+
+/// The paper's default threshold for committee size `n`: `t = n/2`
+/// (§3.1 — "we assume secret sharing schemes with t = n/2").
+///
+/// Reconstruction then needs `t+1 = ⌊n/2⌋+1` shares, i.e. a strict
+/// majority, which a good committee (≥ 2/3 good) always has while the
+/// adversary (< 1/3 + sampler slack) never does.
+pub fn threshold_for(n: usize) -> usize {
+    n / 2
+}
+
+/// Splits `secret` into `n` shares requiring `t+1` to reconstruct.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidParams`] if `n == 0`, `t ≥ n`, or
+/// `n ≥ 2¹⁶` (not enough evaluation points).
+pub fn share<R: Rng + ?Sized>(
+    secret: Gf16,
+    n: usize,
+    t: usize,
+    rng: &mut R,
+) -> Result<Vec<Share>, CryptoError> {
+    if n == 0 || t >= n || n >= (1 << 16) {
+        return Err(CryptoError::InvalidParams { n, t });
+    }
+    let poly = Poly::random_with_secret(secret, t, rng);
+    Ok((0..n)
+        .map(|j| {
+            let x = Gf16::new((j + 1) as u16);
+            Share::new(x, poly.eval(x))
+        })
+        .collect())
+}
+
+/// Shares every word of a sequence independently, returning one share
+/// vector per holder: `result[j][w]` is holder `j`'s share of word `w`.
+///
+/// # Errors
+///
+/// Same conditions as [`share`].
+pub fn share_words<R: Rng + ?Sized>(
+    words: &[Gf16],
+    n: usize,
+    t: usize,
+    rng: &mut R,
+) -> Result<Vec<Vec<Share>>, CryptoError> {
+    let mut per_holder: Vec<Vec<Share>> = vec![Vec::with_capacity(words.len()); n];
+    for &w in words {
+        let shares = share(w, n, t, rng)?;
+        for (holder, s) in shares.into_iter().enumerate() {
+            per_holder[holder].push(s);
+        }
+    }
+    Ok(per_holder)
+}
+
+/// Reconstructs the secret from at least `deg+1` shares, where `deg` is
+/// the degree of the sharing polynomial, via Lagrange interpolation at 0.
+///
+/// All provided shares are used; if more than `t+1` are given the result
+/// is still correct when they are consistent. (This scheme is
+/// non-verifiable, exactly as the paper assumes: corrupted shares yield a
+/// wrong value, not an error. The protocol layers defend against that with
+/// committee majorities, not share verification.)
+///
+/// # Errors
+///
+/// Returns [`CryptoError::TooFewShares`] on empty input and
+/// [`CryptoError::DuplicateShareIndex`] if two shares have the same `x`.
+pub fn reconstruct(shares: &[Share]) -> Result<Gf16, CryptoError> {
+    if shares.is_empty() {
+        return Err(CryptoError::TooFewShares { have: 0, need: 1 });
+    }
+    for (i, a) in shares.iter().enumerate() {
+        for b in &shares[i + 1..] {
+            if a.x == b.x {
+                return Err(CryptoError::DuplicateShareIndex { x: a.x.raw() });
+            }
+        }
+    }
+    // Lagrange interpolation at x = 0:
+    //   secret = Σ_i y_i · Π_{j≠i} x_j / (x_j − x_i)
+    let mut acc = Gf16::ZERO;
+    for (i, si) in shares.iter().enumerate() {
+        let mut num = Gf16::ONE;
+        let mut den = Gf16::ONE;
+        for (j, sj) in shares.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            num *= sj.x;
+            den *= sj.x - si.x;
+        }
+        let li = num * den.inv().expect("distinct nonzero points; denominator nonzero");
+        acc += si.y * li;
+    }
+    Ok(acc)
+}
+
+/// Reconstructs a word sequence from per-holder share vectors (the inverse
+/// of [`share_words`]). `holders[j][w]` must be holder `j`'s share of word
+/// `w`; all holders must provide equally long vectors.
+///
+/// # Errors
+///
+/// [`CryptoError::LengthMismatch`] if holders disagree on sequence length,
+/// plus the conditions of [`reconstruct`].
+pub fn reconstruct_words(holders: &[Vec<Share>]) -> Result<Vec<Gf16>, CryptoError> {
+    let Some(first) = holders.first() else {
+        return Err(CryptoError::TooFewShares { have: 0, need: 1 });
+    };
+    let len = first.len();
+    for h in holders {
+        if h.len() != len {
+            return Err(CryptoError::LengthMismatch {
+                expected: len,
+                actual: h.len(),
+            });
+        }
+    }
+    (0..len)
+        .map(|w| {
+            let column: Vec<Share> = holders.iter().map(|h| h[w]).collect();
+            reconstruct(&column)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn share_then_reconstruct() {
+        let mut rng = rng();
+        let secret = Gf16::new(0x1234);
+        let shares = share(secret, 9, 4, &mut rng).unwrap();
+        assert_eq!(shares.len(), 9);
+        assert_eq!(reconstruct(&shares[..5]).unwrap(), secret);
+        assert_eq!(reconstruct(&shares).unwrap(), secret);
+    }
+
+    #[test]
+    fn any_subset_of_size_t_plus_1_works() {
+        let mut rng = rng();
+        let secret = Gf16::new(0xFEED);
+        let shares = share(secret, 8, 3, &mut rng).unwrap();
+        let mut idx: Vec<usize> = (0..8).collect();
+        for _ in 0..20 {
+            idx.shuffle(&mut rng);
+            let subset: Vec<Share> = idx[..4].iter().map(|&i| shares[i]).collect();
+            assert_eq!(reconstruct(&subset).unwrap(), secret);
+        }
+    }
+
+    #[test]
+    fn t_shares_are_uniform_over_runs() {
+        // Secrecy smoke test: with t shares fixed, different secrets yield
+        // identical distributions; equivalently, share t of a fixed secret
+        // many times and observe the first share's value spreading over the
+        // field. A full proof is information-theoretic; here we check the
+        // first two moments roughly.
+        let mut rng = rng();
+        let secret = Gf16::new(0xAAAA);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..512 {
+            let shares = share(secret, 4, 2, &mut rng).unwrap();
+            seen.insert(shares[0].y.raw());
+        }
+        // 512 draws over 2^16 values: collisions are rare; expect >480 distinct.
+        assert!(seen.len() > 480, "only {} distinct share values", seen.len());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut rng = rng();
+        assert_eq!(
+            share(Gf16::ZERO, 0, 0, &mut rng).unwrap_err(),
+            CryptoError::InvalidParams { n: 0, t: 0 }
+        );
+        assert_eq!(
+            share(Gf16::ZERO, 4, 4, &mut rng).unwrap_err(),
+            CryptoError::InvalidParams { n: 4, t: 4 }
+        );
+        assert!(share(Gf16::ZERO, 1 << 16, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_rejected() {
+        let s = Share::new(Gf16::new(1), Gf16::new(7));
+        assert_eq!(
+            reconstruct(&[s, s]).unwrap_err(),
+            CryptoError::DuplicateShareIndex { x: 1 }
+        );
+    }
+
+    #[test]
+    fn empty_reconstruct_rejected() {
+        assert_eq!(
+            reconstruct(&[]).unwrap_err(),
+            CryptoError::TooFewShares { have: 0, need: 1 }
+        );
+    }
+
+    #[test]
+    fn single_share_t0() {
+        // t = 0: the "polynomial" is constant; one share reveals the secret.
+        let mut rng = rng();
+        let shares = share(Gf16::new(0x42), 3, 0, &mut rng).unwrap();
+        assert_eq!(reconstruct(&shares[..1]).unwrap(), Gf16::new(0x42));
+    }
+
+    #[test]
+    fn word_sequences_roundtrip() {
+        let mut rng = rng();
+        let words: Vec<Gf16> = (0..10u16).map(|i| Gf16::new(i * 37)).collect();
+        let holders = share_words(&words, 7, 3, &mut rng).unwrap();
+        assert_eq!(holders.len(), 7);
+        assert!(holders.iter().all(|h| h.len() == 10));
+        let got = reconstruct_words(&holders[..4]).unwrap();
+        assert_eq!(got, words);
+    }
+
+    #[test]
+    fn word_sequence_length_mismatch() {
+        let mut rng = rng();
+        let words = vec![Gf16::new(1), Gf16::new(2)];
+        let mut holders = share_words(&words, 3, 1, &mut rng).unwrap();
+        holders[1].pop();
+        assert_eq!(
+            reconstruct_words(&holders).unwrap_err(),
+            CryptoError::LengthMismatch { expected: 2, actual: 1 }
+        );
+    }
+
+    #[test]
+    fn threshold_default_matches_paper() {
+        assert_eq!(threshold_for(10), 5);
+        assert_eq!(threshold_for(11), 5);
+        assert_eq!(threshold_for(1), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Reconstructing from any (t+1)-subset returns the secret.
+            #[test]
+            fn subset_reconstruction(
+                secret in any::<u16>(),
+                n in 2usize..24,
+                seed in any::<u64>(),
+            ) {
+                let t = threshold_for(n).min(n - 1);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let secret = Gf16::new(secret);
+                let shares = share(secret, n, t, &mut rng).unwrap();
+                // deterministic subset: every other share, wrapped.
+                let subset: Vec<Share> = (0..n)
+                    .map(|i| shares[(i * 7) % n])
+                    .scan(std::collections::HashSet::new(), |seen, s| {
+                        Some(seen.insert(s.x.raw()).then_some(s))
+                    })
+                    .flatten()
+                    .take(t + 1)
+                    .collect();
+                prop_assume!(subset.len() == t + 1);
+                prop_assert_eq!(reconstruct(&subset).unwrap(), secret);
+            }
+
+            /// Tampering with one share in a minimal set changes the result
+            /// (non-verifiable scheme: garbage in, garbage out — never the
+            /// true secret unless the tamper is a no-op).
+            #[test]
+            fn tampering_changes_output(
+                secret in any::<u16>(),
+                delta in 1u16..,
+                seed in any::<u64>(),
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let secret = Gf16::new(secret);
+                let mut shares = share(secret, 5, 2, &mut rng).unwrap();
+                shares[0].y += Gf16::new(delta);
+                let got = reconstruct(&shares[..3]).unwrap();
+                prop_assert_ne!(got, secret);
+            }
+
+            /// Sharing is linear: share vectors of s1 and s2 sum to a valid
+            /// sharing of s1+s2 (used implicitly by coin aggregation).
+            #[test]
+            fn sharing_is_linear(
+                s1 in any::<u16>(),
+                s2 in any::<u16>(),
+                seed in any::<u64>(),
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = share(Gf16::new(s1), 6, 2, &mut rng).unwrap();
+                let b = share(Gf16::new(s2), 6, 2, &mut rng).unwrap();
+                let sum: Vec<Share> = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(x, y)| Share::new(x.x, x.y + y.y))
+                    .collect();
+                prop_assert_eq!(
+                    reconstruct(&sum[..3]).unwrap(),
+                    Gf16::new(s1) + Gf16::new(s2)
+                );
+            }
+        }
+    }
+}

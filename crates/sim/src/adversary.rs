@@ -1,0 +1,233 @@
+//! The adversary interface: adaptive, rushing, malicious, flooding.
+
+use crate::ids::ProcId;
+use crate::message::Envelope;
+use crate::process::Process;
+use crate::rng::SimRng;
+
+/// What the adversary sees when it acts in a round (after the good
+/// processors have emitted their messages — *rushing*).
+///
+/// Private channels (§1.1) are enforced here: messages between two good
+/// processors are absent from [`AdvView::intercepted`]. The adversary can
+/// read the internal state of processors it has corrupted via
+/// [`AdvView::state_of`], modelling machine takeover.
+pub struct AdvView<'a, P: Process> {
+    pub(crate) round: usize,
+    pub(crate) n: usize,
+    pub(crate) corrupt: &'a [bool],
+    pub(crate) budget_left: usize,
+    pub(crate) intercepted: &'a [Envelope<P::Msg>],
+    pub(crate) states: &'a [P],
+    pub(crate) good_outputs_done: usize,
+}
+
+impl<'a, P: Process> AdvView<'a, P> {
+    /// The current round.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Total number of processors.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether processor `p` is currently corrupted.
+    pub fn is_corrupt(&self, p: ProcId) -> bool {
+        self.corrupt[p.index()]
+    }
+
+    /// Ids of all currently corrupted processors.
+    pub fn corrupt_set(&self) -> Vec<ProcId> {
+        (0..self.n)
+            .filter(|&i| self.corrupt[i])
+            .map(ProcId::new)
+            .collect()
+    }
+
+    /// How many further corruptions the budget allows.
+    pub fn budget_left(&self) -> usize {
+        self.budget_left
+    }
+
+    /// Messages emitted *this round* whose sender or recipient is corrupt.
+    /// This is the full rushing advantage: the adversary reads these before
+    /// composing its own round-`r` messages.
+    pub fn intercepted(&self) -> &[Envelope<P::Msg>] {
+        self.intercepted
+    }
+
+    /// Internal state of a **corrupted** processor.
+    ///
+    /// Returns `None` for good processors: private channels and private
+    /// memory mean the adversary learns a processor's state only by
+    /// corrupting it.
+    pub fn state_of(&self, p: ProcId) -> Option<&P> {
+        if self.corrupt[p.index()] {
+            Some(&self.states[p.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Number of good processors that have already decided. (Public
+    /// timing information; lets adversaries stop wasting budget.)
+    pub fn good_outputs_done(&self) -> usize {
+        self.good_outputs_done
+    }
+}
+
+/// What the adversary does in a round.
+#[derive(Clone, Debug)]
+pub struct AdvAction<M> {
+    /// Processors to corrupt *now* (adaptive takeover). Silently truncated
+    /// to the remaining budget by the engine, in order.
+    pub corrupt: Vec<ProcId>,
+    /// Suppress the messages already emitted this round by these processors
+    /// (only honored for processors corrupted in this very action: a
+    /// takeover mid-round catches the machine before its packets leave).
+    pub drop_pending_from: Vec<ProcId>,
+    /// Messages to inject this round. Envelopes whose `from` is not corrupt
+    /// (after applying `corrupt`) are discarded: channels authenticate
+    /// senders. No limit on count — flooding is allowed.
+    pub inject: Vec<Envelope<M>>,
+}
+
+impl<M> Default for AdvAction<M> {
+    fn default() -> Self {
+        AdvAction {
+            corrupt: Vec::new(),
+            drop_pending_from: Vec::new(),
+            inject: Vec::new(),
+        }
+    }
+}
+
+impl<M> AdvAction<M> {
+    /// The do-nothing action.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// A Byzantine adversary strategy.
+///
+/// The engine calls [`Adversary::act`] once per round, after good
+/// processors have produced their messages (rushing) and before delivery.
+/// Implementations decide whom to corrupt (adaptive) and what the corrupted
+/// processors say (malicious, flooding).
+pub trait Adversary<P: Process> {
+    /// Decide this round's corruptions and injected traffic.
+    fn act(&mut self, view: &AdvView<'_, P>, rng: &mut SimRng) -> AdvAction<P::Msg>;
+}
+
+/// An adversary that corrupts no one and sends nothing.
+///
+/// ```rust
+/// use ba_sim::NullAdversary;
+/// let _a = NullAdversary; // unit struct, no configuration
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullAdversary;
+
+impl<P: Process> Adversary<P> for NullAdversary {
+    fn act(&mut self, _view: &AdvView<'_, P>, _rng: &mut SimRng) -> AdvAction<P::Msg> {
+        AdvAction::none()
+    }
+}
+
+/// A non-adaptive adversary that corrupts a fixed set at round 0 and then
+/// stays silent (pure crash faults). Useful as the weakest baseline fault
+/// model and for tests.
+#[derive(Clone, Debug, Default)]
+pub struct StaticAdversary {
+    targets: Vec<ProcId>,
+}
+
+impl StaticAdversary {
+    /// Crash-faults exactly `targets` at round 0.
+    pub fn new<I: IntoIterator<Item = ProcId>>(targets: I) -> Self {
+        StaticAdversary {
+            targets: targets.into_iter().collect(),
+        }
+    }
+
+    /// Crash-faults the first `k` processors.
+    pub fn first_k(k: usize) -> Self {
+        StaticAdversary {
+            targets: (0..k).map(ProcId::new).collect(),
+        }
+    }
+}
+
+impl<P: Process> Adversary<P> for StaticAdversary {
+    fn act(&mut self, view: &AdvView<'_, P>, _rng: &mut SimRng) -> AdvAction<P::Msg> {
+        if view.round() == 0 {
+            AdvAction {
+                corrupt: self.targets.clone(),
+                drop_pending_from: self.targets.clone(),
+                inject: Vec::new(),
+            }
+        } else {
+            AdvAction::none()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::RoundCtx;
+
+    struct Dummy;
+    impl Process for Dummy {
+        type Msg = bool;
+        type Output = ();
+        fn on_round(&mut self, _ctx: &mut RoundCtx<'_, bool>, _inbox: &[Envelope<bool>]) {}
+        fn output(&self) -> Option<()> {
+            None
+        }
+    }
+
+    fn view<'a>(
+        corrupt: &'a [bool],
+        states: &'a [Dummy],
+        intercepted: &'a [Envelope<bool>],
+    ) -> AdvView<'a, Dummy> {
+        AdvView {
+            round: 0,
+            n: corrupt.len(),
+            corrupt,
+            budget_left: 1,
+            intercepted,
+            states,
+            good_outputs_done: 0,
+        }
+    }
+
+    #[test]
+    fn state_access_restricted_to_corrupt() {
+        let corrupt = vec![false, true];
+        let states = vec![Dummy, Dummy];
+        let v = view(&corrupt, &states, &[]);
+        assert!(v.state_of(ProcId::new(0)).is_none());
+        assert!(v.state_of(ProcId::new(1)).is_some());
+        assert_eq!(v.corrupt_set(), vec![ProcId::new(1)]);
+    }
+
+    #[test]
+    fn static_adversary_only_acts_in_round_zero() {
+        let corrupt = vec![false, false];
+        let states = vec![Dummy, Dummy];
+        let mut a = StaticAdversary::first_k(1);
+        let mut rng = crate::rng::derive_rng(0, 0);
+        let v0 = view(&corrupt, &states, &[]);
+        let act0 = <StaticAdversary as Adversary<Dummy>>::act(&mut a, &v0, &mut rng);
+        assert_eq!(act0.corrupt, vec![ProcId::new(0)]);
+        let mut v1 = view(&corrupt, &states, &[]);
+        v1.round = 1;
+        let act1 = <StaticAdversary as Adversary<Dummy>>::act(&mut a, &v1, &mut rng);
+        assert!(act1.corrupt.is_empty());
+    }
+}

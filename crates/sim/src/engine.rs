@@ -1,0 +1,545 @@
+//! The synchronous execution engine.
+
+use crate::adversary::{AdvView, Adversary};
+use crate::ids::ProcId;
+use crate::message::Envelope;
+use crate::metrics::Metrics;
+use crate::process::{Process, RoundCtx};
+use crate::rng::{derive_rng, SimRng, ADVERSARY_LABEL};
+
+/// Builder for a [`Sim`]: number of processors, randomness seed,
+/// corruption budget, and flood cap.
+///
+/// ```rust
+/// use ba_sim::{NullAdversary, SimBuilder};
+/// # use ba_sim::{Envelope, Process, RoundCtx};
+/// # struct Noop;
+/// # impl Process for Noop {
+/// #     type Msg = (); type Output = ();
+/// #     fn on_round(&mut self, _: &mut RoundCtx<'_, ()>, _: &[Envelope<()>]) {}
+/// #     fn output(&self) -> Option<()> { Some(()) }
+/// # }
+/// let sim = SimBuilder::new(16)
+///     .seed(1)
+///     .max_corruptions(5)
+///     .build(|_, _| Noop, NullAdversary);
+/// let outcome = sim.run(4);
+/// // Noop decides immediately, so the run ends before any round executes.
+/// assert_eq!(outcome.rounds, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimBuilder {
+    n: usize,
+    seed: u64,
+    max_corruptions: usize,
+    flood_cap: usize,
+}
+
+impl SimBuilder {
+    /// Starts configuring a simulation of `n` processors.
+    ///
+    /// Defaults: seed 0, corruption budget `⌊(1/3 − 0.05)·n⌋` (just under
+    /// the paper's `1/3 − ε` bound), flood cap `64·n²` envelopes per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "simulation needs at least one processor");
+        SimBuilder {
+            n,
+            seed: 0,
+            max_corruptions: ((n as f64) * (1.0 / 3.0 - 0.05)).floor() as usize,
+            flood_cap: 64 * n * n,
+        }
+    }
+
+    /// Sets the master randomness seed (replays are deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the adversary's total corruption budget.
+    pub fn max_corruptions(mut self, t: usize) -> Self {
+        self.max_corruptions = t.min(self.n);
+        self
+    }
+
+    /// Caps adversary injections per round (simulator memory protection
+    /// only; does not model a network limit).
+    pub fn flood_cap(mut self, cap: usize) -> Self {
+        self.flood_cap = cap;
+        self
+    }
+
+    /// Instantiates processors via `make(proc_id, n)` and couples them with
+    /// `adversary`.
+    pub fn build<P, A, F>(self, mut make: F, adversary: A) -> Sim<P, A>
+    where
+        P: Process,
+        A: Adversary<P>,
+        F: FnMut(ProcId, usize) -> P,
+    {
+        let procs: Vec<P> = (0..self.n).map(|i| make(ProcId::new(i), self.n)).collect();
+        let rngs: Vec<SimRng> = (0..self.n).map(|i| derive_rng(self.seed, i as u64)).collect();
+        let adv_rng = derive_rng(self.seed, ADVERSARY_LABEL);
+        Sim {
+            n: self.n,
+            procs,
+            rngs,
+            adversary,
+            adv_rng,
+            corrupt: vec![false; self.n],
+            budget_left: self.max_corruptions,
+            flood_cap: self.flood_cap,
+            inboxes: vec![Vec::new(); self.n],
+            metrics: Metrics::new(self.n),
+            round: 0,
+        }
+    }
+}
+
+/// A configured simulation, ready to run.
+///
+/// Drive it with [`Sim::run`] (to completion or a round limit) or
+/// [`Sim::step`] (one round at a time, for tests that inspect
+/// intermediate state).
+#[derive(Debug)]
+pub struct Sim<P: Process, A> {
+    n: usize,
+    procs: Vec<P>,
+    rngs: Vec<SimRng>,
+    adversary: A,
+    adv_rng: SimRng,
+    corrupt: Vec<bool>,
+    budget_left: usize,
+    flood_cap: usize,
+    inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    metrics: Metrics,
+    round: usize,
+}
+
+impl<P: Process, A: Adversary<P>> Sim<P, A> {
+    /// Runs until every good processor has an output, or `max_rounds`
+    /// rounds have executed. Returns the outcome.
+    pub fn run(mut self, max_rounds: usize) -> RunOutcome<P::Output> {
+        while self.round < max_rounds && !self.all_good_decided() {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Executes a single synchronous round:
+    /// 1. good processors consume their inboxes and emit messages;
+    /// 2. the (rushing) adversary sees traffic touching corrupt processors,
+    ///    corrupts adaptively within budget, and injects its own messages;
+    /// 3. everything is delivered into next round's inboxes.
+    pub fn step(&mut self) {
+        let round = self.round;
+        let mut pending: Vec<Envelope<P::Msg>> = Vec::new();
+
+        // (1) Good processors act on this round's inbox.
+        let inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); self.n]);
+        for (i, inbox) in inboxes.iter().enumerate() {
+            if self.corrupt[i] {
+                continue;
+            }
+            let mut outbox = Vec::new();
+            let mut ctx = RoundCtx {
+                me: ProcId::new(i),
+                n: self.n,
+                round,
+                rng: &mut self.rngs[i],
+                outbox: &mut outbox,
+            };
+            self.procs[i].on_round(&mut ctx, inbox);
+            pending.append(&mut outbox);
+        }
+
+        // (2) Rushing adversary: sees messages touching corrupt processors.
+        let intercepted: Vec<Envelope<P::Msg>> = pending
+            .iter()
+            .filter(|e| self.corrupt[e.from.index()] || self.corrupt[e.to.index()])
+            .cloned()
+            .collect();
+        let good_outputs_done = (0..self.n)
+            .filter(|&i| !self.corrupt[i] && self.procs[i].output().is_some())
+            .count();
+        let view = AdvView {
+            round,
+            n: self.n,
+            corrupt: &self.corrupt,
+            budget_left: self.budget_left,
+            intercepted: &intercepted,
+            states: &self.procs,
+            good_outputs_done,
+        };
+        let action = self.adversary.act(&view, &mut self.adv_rng);
+
+        // Apply corruptions within budget.
+        let mut newly_corrupt = Vec::new();
+        for p in action.corrupt {
+            let i = p.index();
+            if !self.corrupt[i] && self.budget_left > 0 {
+                self.corrupt[i] = true;
+                self.budget_left -= 1;
+                newly_corrupt.push(i);
+            }
+        }
+        // Drop pending messages of processors corrupted mid-round if asked.
+        if !action.drop_pending_from.is_empty() {
+            let droppable: Vec<usize> = action
+                .drop_pending_from
+                .iter()
+                .map(|p| p.index())
+                .filter(|i| newly_corrupt.contains(i))
+                .collect();
+            pending.retain(|e| !droppable.contains(&e.from.index()));
+        }
+        // Inject adversary traffic: only authenticated (corrupt) senders.
+        let mut injected = 0usize;
+        for e in action.inject {
+            if injected >= self.flood_cap {
+                break;
+            }
+            if self.corrupt[e.from.index()] {
+                pending.push(e);
+                injected += 1;
+            }
+        }
+
+        // (3) Account and deliver.
+        for e in &pending {
+            let bits = e.bit_len();
+            self.metrics.charge_send(e.from, bits);
+            self.metrics.charge_receive(e.to, bits);
+        }
+        for e in pending {
+            self.inboxes[e.to.index()].push(e);
+        }
+        self.round += 1;
+        self.metrics.set_rounds(self.round);
+    }
+
+    /// Whether every good processor has decided.
+    pub fn all_good_decided(&self) -> bool {
+        (0..self.n).all(|i| self.corrupt[i] || self.procs[i].output().is_some())
+    }
+
+    /// The current round number (number of completed rounds).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Read access to a processor's state (for tests and experiments; the
+    /// *adversary* goes through [`AdvView::state_of`] which restricts
+    /// access to corrupted processors).
+    pub fn process(&self, p: ProcId) -> &P {
+        &self.procs[p.index()]
+    }
+
+    /// Whether `p` is corrupted.
+    pub fn is_corrupt(&self, p: ProcId) -> bool {
+        self.corrupt[p.index()]
+    }
+
+    /// Finalizes the run and extracts outputs and metrics.
+    pub fn finish(self) -> RunOutcome<P::Output> {
+        let outputs: Vec<Option<P::Output>> = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| if self.corrupt[i] { None } else { p.output() })
+            .collect();
+        RunOutcome {
+            rounds: self.round,
+            corrupt: self.corrupt,
+            outputs,
+            metrics: self.metrics,
+        }
+    }
+}
+
+/// The result of a simulation run.
+#[derive(Debug)]
+pub struct RunOutcome<O> {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Which processors ended corrupted.
+    pub corrupt: Vec<bool>,
+    /// Per-processor outputs; `None` for corrupted or undecided processors.
+    pub outputs: Vec<Option<O>>,
+    /// Communication accounting.
+    pub metrics: Metrics,
+}
+
+impl<O: PartialEq> RunOutcome<O> {
+    /// Whether every good processor decided and they all agree on `v`.
+    pub fn all_good_agree_on(&self, v: &O) -> bool {
+        self.good_indices()
+            .all(|i| self.outputs[i].as_ref() == Some(v))
+    }
+
+    /// Whether every good processor decided on one common value (any value).
+    pub fn all_good_agree(&self) -> bool {
+        let mut goods = self.good_indices();
+        let Some(first) = goods.next() else { return true };
+        let Some(v) = self.outputs[first].as_ref() else {
+            return false;
+        };
+        self.good_indices()
+            .all(|i| self.outputs[i].as_ref() == Some(v))
+    }
+
+    /// Fraction of good processors whose output equals the plurality output
+    /// among good processors; 1.0 when all good processors agree.
+    pub fn good_agreement_fraction(&self) -> f64 {
+        let goods: Vec<usize> = self.good_indices().collect();
+        if goods.is_empty() {
+            return 1.0;
+        }
+        let best = goods
+            .iter()
+            .map(|&i| {
+                goods
+                    .iter()
+                    .filter(|&&j| {
+                        self.outputs[j].is_some() && self.outputs[j] == self.outputs[i]
+                    })
+                    .count()
+            })
+            .max()
+            .unwrap_or(0);
+        best as f64 / goods.len() as f64
+    }
+
+    fn good_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.corrupt.len()).filter(|&i| !self.corrupt[i])
+    }
+
+    /// Number of good processors.
+    pub fn good_count(&self) -> usize {
+        self.good_indices().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{AdvAction, NullAdversary, StaticAdversary};
+
+    /// Echo protocol: round 0 everyone sends its input bit to everyone;
+    /// round 1 everyone outputs the majority bit received.
+    struct Echo {
+        input: bool,
+        out: Option<bool>,
+    }
+
+    impl Process for Echo {
+        type Msg = bool;
+        type Output = bool;
+
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, bool>, inbox: &[Envelope<bool>]) {
+            match ctx.round() {
+                0 => {
+                    for p in ctx.all_procs() {
+                        ctx.send(p, self.input);
+                    }
+                }
+                1 => {
+                    let ones = inbox.iter().filter(|e| e.payload).count();
+                    self.out = Some(2 * ones > inbox.len());
+                }
+                _ => {}
+            }
+        }
+
+        fn output(&self) -> Option<bool> {
+            self.out
+        }
+    }
+
+    #[test]
+    fn echo_agrees_without_adversary() {
+        let outcome = SimBuilder::new(9)
+            .seed(3)
+            .build(|p, _| Echo { input: p.index() % 3 != 0, out: None }, NullAdversary)
+            .run(5);
+        // 6 of 9 inputs are `true`.
+        assert!(outcome.all_good_agree_on(&true));
+        assert_eq!(outcome.rounds, 2);
+        assert!(outcome.all_good_agree());
+        assert_eq!(outcome.good_agreement_fraction(), 1.0);
+    }
+
+    #[test]
+    fn bit_accounting_exact() {
+        let outcome = SimBuilder::new(4)
+            .build(|_, _| Echo { input: true, out: None }, NullAdversary)
+            .run(5);
+        // Each of 4 processors sends 4 one-bit messages in round 0.
+        assert_eq!(outcome.metrics.total_bits(), 16);
+        assert_eq!(outcome.metrics.total_msgs(), 16);
+        for i in 0..4 {
+            assert_eq!(outcome.metrics.bits_sent_by(ProcId::new(i)), 4);
+        }
+    }
+
+    #[test]
+    fn static_crash_faults_silence_targets() {
+        // 3 of 10 crash before sending. The 7 good `true` inputs win.
+        let outcome = SimBuilder::new(10)
+            .max_corruptions(3)
+            .build(
+                |p, _| Echo { input: p.index() >= 3, out: None },
+                StaticAdversary::first_k(3),
+            )
+            .run(5);
+        assert_eq!(outcome.good_count(), 7);
+        assert!(outcome.all_good_agree_on(&true));
+        // Crashed processors sent nothing (messages dropped mid-round 0).
+        for i in 0..3 {
+            assert_eq!(outcome.metrics.bits_sent_by(ProcId::new(i)), 0);
+        }
+    }
+
+    /// Adversary that equivocates: corrupts p0 at round 0, drops its honest
+    /// messages, and sends `true` to even processors, `false` to odd ones.
+    struct Equivocator;
+
+    impl Adversary<Echo> for Equivocator {
+        fn act(&mut self, view: &AdvView<'_, Echo>, _rng: &mut SimRng) -> AdvAction<bool> {
+            if view.round() != 0 {
+                return AdvAction::none();
+            }
+            let p0 = ProcId::new(0);
+            let inject = (0..view.n())
+                .map(|i| Envelope::new(p0, ProcId::new(i), i % 2 == 0))
+                .collect();
+            AdvAction {
+                corrupt: vec![p0],
+                drop_pending_from: vec![p0],
+                inject,
+            }
+        }
+    }
+
+    #[test]
+    fn equivocation_reaches_only_intended_recipients() {
+        // n=3: p0 corrupt; p1,p2 have inputs true,false. p1 hears
+        // [false(p0), true, false] -> majority false; p2 hears
+        // [true(p0), true, false] -> majority true (tie broken strictly >).
+        let outcome = SimBuilder::new(3)
+            .max_corruptions(1)
+            .build(|p, _| Echo { input: p.index() == 1, out: None }, Equivocator)
+            .run(5);
+        assert_eq!(outcome.outputs[1], Some(false));
+        assert_eq!(outcome.outputs[2], Some(true));
+        assert!(!outcome.all_good_agree());
+        assert!((outcome.good_agreement_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    /// Adversary that tries to exceed its budget.
+    struct Greedy;
+    impl Adversary<Echo> for Greedy {
+        fn act(&mut self, view: &AdvView<'_, Echo>, _rng: &mut SimRng) -> AdvAction<bool> {
+            AdvAction {
+                corrupt: (0..view.n()).map(ProcId::new).collect(),
+                drop_pending_from: Vec::new(),
+                inject: Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_budget_enforced() {
+        let outcome = SimBuilder::new(9)
+            .max_corruptions(2)
+            .build(|_, _| Echo { input: true, out: None }, Greedy)
+            .run(5);
+        assert_eq!(outcome.corrupt.iter().filter(|&&c| c).count(), 2);
+        assert_eq!(outcome.good_count(), 7);
+    }
+
+    /// Adversary that floods from a corrupted node.
+    struct Flooder;
+    impl Adversary<Echo> for Flooder {
+        fn act(&mut self, view: &AdvView<'_, Echo>, _rng: &mut SimRng) -> AdvAction<bool> {
+            let p0 = ProcId::new(0);
+            let inject = (0..10_000)
+                .map(|i| Envelope::new(p0, ProcId::new(i % view.n()), true))
+                .collect();
+            AdvAction {
+                corrupt: vec![p0],
+                drop_pending_from: vec![],
+                inject,
+            }
+        }
+    }
+
+    #[test]
+    fn flood_cap_limits_injections() {
+        let outcome = SimBuilder::new(4)
+            .max_corruptions(1)
+            .flood_cap(100)
+            .build(|_, _| Echo { input: true, out: None }, Flooder)
+            .run(2);
+        // Round 0: 4 procs × 4 sends (p0 corrupted after emitting, messages
+        // kept) + ≤100 injected; round 1: ≤100 injected.
+        assert!(outcome.metrics.total_msgs() <= 16 + 200);
+    }
+
+    #[test]
+    fn injection_from_good_sender_rejected() {
+        struct Forger;
+        impl Adversary<Echo> for Forger {
+            fn act(&mut self, view: &AdvView<'_, Echo>, _rng: &mut SimRng) -> AdvAction<bool> {
+                // Try to forge a message from good processor 1.
+                let _ = view;
+                AdvAction {
+                    corrupt: vec![],
+                    drop_pending_from: vec![],
+                    inject: vec![Envelope::new(ProcId::new(1), ProcId::new(2), false)],
+                }
+            }
+        }
+        let outcome = SimBuilder::new(3)
+            .build(|_, _| Echo { input: true, out: None }, Forger)
+            .run(3);
+        // Forged envelopes never delivered: totals match the honest run.
+        assert_eq!(outcome.metrics.total_msgs(), 9);
+        assert!(outcome.all_good_agree_on(&true));
+    }
+
+    #[test]
+    fn deterministic_replay_same_seed() {
+        let run = |seed| {
+            SimBuilder::new(8)
+                .seed(seed)
+                .build(|p, _| Echo { input: p.index() % 2 == 0, out: None }, NullAdversary)
+                .run(5)
+                .metrics
+                .total_bits()
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn run_respects_round_limit() {
+        struct Forever;
+        impl Process for Forever {
+            type Msg = ();
+            type Output = ();
+            fn on_round(&mut self, _: &mut RoundCtx<'_, ()>, _: &[Envelope<()>]) {}
+            fn output(&self) -> Option<()> {
+                None
+            }
+        }
+        let outcome = SimBuilder::new(2)
+            .build(|_, _| Forever, NullAdversary)
+            .run(7);
+        assert_eq!(outcome.rounds, 7);
+        assert!(outcome.outputs.iter().all(|o| o.is_none()));
+    }
+}

@@ -1,0 +1,79 @@
+//! Processor identifiers.
+
+use std::fmt;
+
+/// Identifier of one of the `n` processors, in `0..n`.
+///
+/// Processor IDs are common knowledge (paper §1.1: "a fully connected
+/// network of n processors, whose IDs are common knowledge"). The newtype
+/// keeps processor indices from being confused with tree-node indices or
+/// candidate indices, which are plain `usize` in other crates.
+///
+/// ```rust
+/// use ba_sim::ProcId;
+/// let p = ProcId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(format!("{p}"), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(u32);
+
+impl ProcId {
+    /// Creates a processor id from its index.
+    pub fn new(index: usize) -> Self {
+        ProcId(u32::try_from(index).expect("processor index exceeds u32"))
+    }
+
+    /// The index of this processor in `0..n`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcId {
+    fn from(index: usize) -> Self {
+        ProcId::new(index)
+    }
+}
+
+impl From<ProcId> for usize {
+    fn from(id: ProcId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for i in [0usize, 1, 17, 65535] {
+            assert_eq!(ProcId::new(i).index(), i);
+            assert_eq!(usize::from(ProcId::from(i)), i);
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ProcId::new(42).to_string(), "p42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcId::new(1) < ProcId::new(2));
+        assert_eq!(ProcId::new(5), ProcId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn rejects_huge_index() {
+        let _ = ProcId::new(usize::MAX);
+    }
+}

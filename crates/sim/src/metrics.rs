@@ -1,0 +1,157 @@
+//! Bit and message accounting.
+//!
+//! Theorem 1 of the paper is a bound on *bits of communication per
+//! processor*, so the engine charges every sent envelope to its sender here.
+//! Flooding by corrupt processors is charged to the corrupt senders and is
+//! excluded from the "good processor" statistics that the experiments report.
+
+use crate::ids::ProcId;
+
+/// Per-processor communication accounting for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    bits_sent: Vec<u64>,
+    msgs_sent: Vec<u64>,
+    bits_received: Vec<u64>,
+    rounds: usize,
+}
+
+impl Metrics {
+    /// Creates metrics for `n` processors.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            bits_sent: vec![0; n],
+            msgs_sent: vec![0; n],
+            bits_received: vec![0; n],
+            rounds: 0,
+        }
+    }
+
+    pub(crate) fn charge_send(&mut self, from: ProcId, bits: u64) {
+        self.bits_sent[from.index()] += bits;
+        self.msgs_sent[from.index()] += 1;
+    }
+
+    pub(crate) fn charge_receive(&mut self, to: ProcId, bits: u64) {
+        self.bits_received[to.index()] += bits;
+    }
+
+    pub(crate) fn set_rounds(&mut self, rounds: usize) {
+        self.rounds = rounds;
+    }
+
+    /// Number of rounds the run took.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Bits sent by one processor.
+    pub fn bits_sent_by(&self, p: ProcId) -> u64 {
+        self.bits_sent[p.index()]
+    }
+
+    /// Messages sent by one processor.
+    pub fn msgs_sent_by(&self, p: ProcId) -> u64 {
+        self.msgs_sent[p.index()]
+    }
+
+    /// Bits received by one processor (includes flood traffic; useful for
+    /// measuring the load an adversary can impose).
+    pub fn bits_received_by(&self, p: ProcId) -> u64 {
+        self.bits_received[p.index()]
+    }
+
+    /// Total bits sent by all processors.
+    pub fn total_bits(&self) -> u64 {
+        self.bits_sent.iter().sum()
+    }
+
+    /// Total messages sent by all processors.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_sent.iter().sum()
+    }
+
+    /// Summary statistics over the processors selected by `include`
+    /// (typically the good ones).
+    pub fn bit_stats<F: Fn(ProcId) -> bool>(&self, include: F) -> BitStats {
+        let sel: Vec<u64> = (0..self.bits_sent.len())
+            .filter(|&i| include(ProcId::new(i)))
+            .map(|i| self.bits_sent[i])
+            .collect();
+        BitStats::from_samples(&sel)
+    }
+}
+
+/// Summary statistics of per-processor bit counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BitStats {
+    /// Number of processors included.
+    pub count: usize,
+    /// Maximum bits sent by any included processor.
+    pub max: u64,
+    /// Minimum bits sent by any included processor.
+    pub min: u64,
+    /// Mean bits sent.
+    pub mean: f64,
+    /// Total bits sent by included processors.
+    pub total: u64,
+}
+
+impl BitStats {
+    /// Computes statistics from raw samples. Empty input yields all zeros.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return BitStats::default();
+        }
+        let total: u64 = samples.iter().sum();
+        BitStats {
+            count: samples.len(),
+            max: *samples.iter().max().expect("non-empty"),
+            min: *samples.iter().min().expect("non-empty"),
+            mean: total as f64 / samples.len() as f64,
+            total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut m = Metrics::new(3);
+        m.charge_send(ProcId::new(0), 10);
+        m.charge_send(ProcId::new(0), 5);
+        m.charge_send(ProcId::new(2), 7);
+        m.charge_receive(ProcId::new(1), 10);
+        assert_eq!(m.bits_sent_by(ProcId::new(0)), 15);
+        assert_eq!(m.msgs_sent_by(ProcId::new(0)), 2);
+        assert_eq!(m.bits_sent_by(ProcId::new(1)), 0);
+        assert_eq!(m.bits_received_by(ProcId::new(1)), 10);
+        assert_eq!(m.total_bits(), 22);
+        assert_eq!(m.total_msgs(), 3);
+    }
+
+    #[test]
+    fn stats_filter() {
+        let mut m = Metrics::new(4);
+        for (i, b) in [(0u32, 4u64), (1, 8), (2, 100), (3, 2)] {
+            m.charge_send(ProcId::new(i as usize), b);
+        }
+        // Exclude processor 2 (say, corrupt).
+        let s = m.bit_stats(|p| p.index() != 2);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 8);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.total, 14);
+        assert!((s.mean - 14.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let m = Metrics::new(2);
+        let s = m.bit_stats(|_| false);
+        assert_eq!(s, BitStats::default());
+    }
+}

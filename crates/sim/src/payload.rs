@@ -1,0 +1,125 @@
+//! Message payload sizing.
+//!
+//! The paper's headline result is a *bit* complexity bound, so the simulator
+//! charges every message an exact bit size. Payload types report their own
+//! wire size via [`Payload::bit_len`]; the engine adds a small fixed header
+//! (sender identity, which the model says is always known to the recipient,
+//! travels out of band and is free).
+
+/// A message payload with a well-defined wire size in bits.
+///
+/// Implementations should report the number of bits an honest
+/// implementation would put on the wire, *excluding* sender/receiver
+/// addressing (the model provides authenticated point-to-point channels).
+///
+/// ```rust
+/// use ba_sim::Payload;
+/// assert_eq!(true.bit_len(), 1);
+/// assert_eq!(0u16.bit_len(), 16);
+/// assert_eq!(vec![1u16, 2, 3].bit_len(), 48);
+/// ```
+pub trait Payload: Clone {
+    /// Size of this payload in bits when serialized.
+    fn bit_len(&self) -> u64;
+}
+
+impl Payload for bool {
+    fn bit_len(&self) -> u64 {
+        1
+    }
+}
+
+impl Payload for u8 {
+    fn bit_len(&self) -> u64 {
+        8
+    }
+}
+
+impl Payload for u16 {
+    fn bit_len(&self) -> u64 {
+        16
+    }
+}
+
+impl Payload for u32 {
+    fn bit_len(&self) -> u64 {
+        32
+    }
+}
+
+impl Payload for u64 {
+    fn bit_len(&self) -> u64 {
+        64
+    }
+}
+
+impl Payload for () {
+    fn bit_len(&self) -> u64 {
+        0
+    }
+}
+
+impl<T: Payload> Payload for Vec<T> {
+    fn bit_len(&self) -> u64 {
+        self.iter().map(Payload::bit_len).sum()
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn bit_len(&self) -> u64 {
+        1 + self.as_ref().map_or(0, Payload::bit_len)
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn bit_len(&self) -> u64 {
+        self.0.bit_len() + self.1.bit_len()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    fn bit_len(&self) -> u64 {
+        self.0.bit_len() + self.1.bit_len() + self.2.bit_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(false.bit_len(), 1);
+        assert_eq!(7u8.bit_len(), 8);
+        assert_eq!(7u16.bit_len(), 16);
+        assert_eq!(7u32.bit_len(), 32);
+        assert_eq!(7u64.bit_len(), 64);
+        assert_eq!(().bit_len(), 0);
+    }
+
+    #[test]
+    fn vec_sums_elements() {
+        let v: Vec<u32> = vec![1, 2, 3, 4];
+        assert_eq!(v.bit_len(), 128);
+        let empty: Vec<u64> = vec![];
+        assert_eq!(empty.bit_len(), 0);
+    }
+
+    #[test]
+    fn option_charges_presence_flag() {
+        assert_eq!(None::<u16>.bit_len(), 1);
+        assert_eq!(Some(5u16).bit_len(), 17);
+    }
+
+    #[test]
+    fn tuples_sum_fields() {
+        assert_eq!((true, 1u16).bit_len(), 17);
+        assert_eq!((true, 1u16, 2u32).bit_len(), 49);
+    }
+
+    #[test]
+    fn nested_composition() {
+        let v = vec![(1u16, vec![true, false]), (2u16, vec![true])];
+        assert_eq!(v.bit_len(), 16 + 2 + 16 + 1);
+    }
+}

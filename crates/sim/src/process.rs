@@ -1,0 +1,118 @@
+//! The processor-side protocol interface.
+
+use crate::ids::ProcId;
+use crate::message::Envelope;
+use crate::payload::Payload;
+use crate::rng::SimRng;
+
+/// The logic a good processor runs.
+///
+/// One value of the implementing type exists per processor; the engine
+/// drives it round by round. Synchronous protocols have a common-knowledge
+/// round schedule, so implementations typically branch on
+/// [`RoundCtx::round`] (or a [`crate::Schedule`]) to decide which protocol
+/// phase they are in.
+///
+/// When the adversary corrupts a processor, its `Process` value stops being
+/// driven (the adversary speaks for it instead) but remains readable by the
+/// adversary — models the takeover of a machine including its memory, which
+/// is why protocols that need forward secrecy must *erase* state eagerly,
+/// as `sendSecretUp` does in the paper (§3.2.3).
+pub trait Process {
+    /// The message type of the protocol.
+    type Msg: Payload;
+    /// The decision/output type.
+    type Output;
+
+    /// Executes one synchronous round: consume `inbox` (messages delivered
+    /// at the start of this round), send messages for delivery next round.
+    ///
+    /// Round 0 always has an empty inbox.
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>, inbox: &[Envelope<Self::Msg>]);
+
+    /// The processor's decision, once made. The engine stops early when all
+    /// good processors have produced an output.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// Per-round execution context handed to [`Process::on_round`]: identity,
+/// round number, private randomness, and the outgoing mailbox.
+#[derive(Debug)]
+pub struct RoundCtx<'a, M> {
+    pub(crate) me: ProcId,
+    pub(crate) n: usize,
+    pub(crate) round: usize,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) outbox: &'a mut Vec<Envelope<M>>,
+}
+
+impl<'a, M: Payload> RoundCtx<'a, M> {
+    /// This processor's identity.
+    pub fn me(&self) -> ProcId {
+        self.me
+    }
+
+    /// Total number of processors `n` (common knowledge).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current round number, starting at 0.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The processor's private coin (deterministic per `(seed, processor)`).
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Queues `msg` for delivery to `to` at the start of the next round.
+    pub fn send(&mut self, to: ProcId, msg: M) {
+        self.outbox.push(Envelope::new(self.me, to, msg));
+    }
+
+    /// Iterator over all processor ids `0..n`.
+    pub fn all_procs(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.n).map(ProcId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    #[test]
+    fn ctx_send_records_sender() {
+        let mut rng = derive_rng(0, 0);
+        let mut outbox = Vec::new();
+        let mut ctx = RoundCtx {
+            me: ProcId::new(2),
+            n: 5,
+            round: 7,
+            rng: &mut rng,
+            outbox: &mut outbox,
+        };
+        assert_eq!(ctx.me(), ProcId::new(2));
+        assert_eq!(ctx.n(), 5);
+        assert_eq!(ctx.round(), 7);
+        ctx.send(ProcId::new(4), 9u16);
+        assert_eq!(outbox, vec![Envelope::new(ProcId::new(2), ProcId::new(4), 9u16)]);
+    }
+
+    #[test]
+    fn all_procs_covers_range() {
+        let mut rng = derive_rng(0, 0);
+        let mut outbox: Vec<Envelope<bool>> = Vec::new();
+        let ctx = RoundCtx {
+            me: ProcId::new(0),
+            n: 3,
+            round: 0,
+            rng: &mut rng,
+            outbox: &mut outbox,
+        };
+        let ids: Vec<usize> = ctx.all_procs().map(|p| p.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

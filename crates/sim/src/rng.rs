@@ -1,0 +1,78 @@
+//! Deterministic randomness infrastructure.
+//!
+//! Every processor owns a private coin (paper §1.1). The simulator derives
+//! one independent ChaCha stream per processor from a single master seed so
+//! whole executions replay bit-for-bit from `(seed, n, protocol)`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// The RNG type used throughout the simulator (cryptographic-quality,
+/// seedable, portable across platforms).
+pub type SimRng = ChaCha12Rng;
+
+/// Derives an independent RNG stream from a master seed and a stream label.
+///
+/// Streams with distinct `(seed, label)` pairs are computationally
+/// independent. Labels 0..n are used for processor private coins; higher
+/// label spaces are reserved for adversaries (`1 << 40 | i`) and
+/// infrastructure such as sampler construction (`1 << 41 | i`).
+///
+/// ```rust
+/// use ba_sim::derive_rng;
+/// use rand::RngCore;
+/// let mut a = derive_rng(7, 0);
+/// let mut b = derive_rng(7, 1);
+/// assert_ne!(a.next_u64(), b.next_u64());
+/// // Re-deriving replays the stream.
+/// let mut a2 = derive_rng(7, 0);
+/// assert_eq!(derive_rng(7, 0).next_u64(), a2.next_u64());
+/// ```
+pub fn derive_rng(master_seed: u64, label: u64) -> SimRng {
+    let mut seed = [0u8; 32];
+    seed[..8].copy_from_slice(&master_seed.to_le_bytes());
+    seed[8..16].copy_from_slice(&label.to_le_bytes());
+    // Mix so nearby labels do not share word prefixes in the seed.
+    let mixed = master_seed
+        .rotate_left(17)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ label.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    seed[16..24].copy_from_slice(&mixed.to_le_bytes());
+    SimRng::from_seed(seed)
+}
+
+/// Label space for adversary RNG streams.
+pub(crate) const ADVERSARY_LABEL: u64 = 1 << 40;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn deterministic_replay() {
+        let xs: Vec<u64> = (0..4).map(|_| derive_rng(42, 3).next_u64()).collect();
+        assert!(xs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn distinct_labels_distinct_streams() {
+        let a = derive_rng(42, 0).next_u64();
+        let b = derive_rng(42, 1).next_u64();
+        let c = derive_rng(43, 0).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streams_look_uniform() {
+        // Crude sanity check: mean of 10k uniform u8s is near 127.5.
+        let mut rng = derive_rng(1, 9);
+        let mut sum = 0u64;
+        for _ in 0..10_000 {
+            sum += u64::from(rng.next_u32() & 0xff);
+        }
+        let mean = sum as f64 / 10_000.0;
+        assert!((mean - 127.5).abs() < 5.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run everywhere Byzantine agreement end to end and inspect
+//! the headline metric — bits sent per processor.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use king_saia::agree;
+
+fn main() {
+    let n = 256;
+    println!("King–Saia everywhere Byzantine agreement, n = {n}");
+    println!("inputs: processor i starts with (i % 3 == 0)\n");
+
+    let outcome = agree(n, |i| i % 3 == 0, 2026);
+
+    println!("decided bit          : {}", outcome.tournament.decided);
+    println!("valid (some input)   : {}", outcome.valid);
+    println!("everywhere agreement : {}", outcome.everywhere_agreement);
+    println!("rounds               : {}", outcome.rounds);
+
+    let stats = outcome.good_bit_stats();
+    println!("\nbits sent per good processor:");
+    println!("  max  : {:>12}", stats.max);
+    println!("  mean : {:>12.0}", stats.mean);
+    println!("  min  : {:>12}", stats.min);
+
+    let sqrt_n = (n as f64).sqrt();
+    println!(
+        "\nÕ(√n) check: max/√n = {:.0} (a polylog(n) factor; √n = {sqrt_n:.0})",
+        stats.max as f64 / sqrt_n
+    );
+
+    println!("\nper-level tournament summary:");
+    for s in &outcome.tournament.level_stats {
+        println!(
+            "  level {}: {:>3} candidates → {:>2} winners ({} good), mean committee agreement {:.3}",
+            s.level, s.candidates, s.winners, s.good_winners, s.mean_agreement
+        );
+    }
+
+    let coins = &outcome.tournament.coin_words;
+    let good = coins.iter().filter(|c| c.good).count();
+    println!(
+        "\nglobal coin subsequence: {} words, {} genuine ({:.0}%)",
+        coins.len(),
+        good,
+        100.0 * good as f64 / coins.len().max(1) as f64
+    );
+}

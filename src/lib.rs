@@ -1,0 +1,80 @@
+//! # king-saia — scalable Byzantine agreement with an adaptive adversary
+//!
+//! A complete reproduction of King & Saia, *"Breaking the O(n²) Bit
+//! Barrier: Scalable Byzantine agreement with an Adaptive Adversary"*
+//! (PODC 2010): Byzantine agreement where every processor sends only
+//! `Õ(√n)` bits, against an adaptive, rushing adversary corrupting up to
+//! a `1/3 − ε` fraction of processors, with private channels and no other
+//! cryptographic assumptions.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`sim`] | synchronous message-passing simulator, adversary interface, bit accounting |
+//! | [`crypto`] | GF(2¹⁶), Shamir sharing, iterated shares-of-shares |
+//! | [`sampler`] | averaging samplers, random regular graphs |
+//! | [`topology`] | the q-ary communication tree, good-node analysis |
+//! | [`core`] | Algorithms 1–5: elections, AEBA with unreliable coins, the tournament, almost-everywhere→everywhere, everywhere agreement |
+//! | [`baselines`] | Phase King, Ben-Or, Rabin comparators |
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use king_saia::agree;
+//!
+//! // 64 processors, unanimous input, no adversary.
+//! let outcome = agree(64, |_| true, 42);
+//! assert!(outcome.everywhere_agreement);
+//! assert!(outcome.valid);
+//! let stats = outcome.good_bit_stats();
+//! println!("max bits/processor: {}", stats.max);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ba_baselines as baselines;
+pub use ba_core as core;
+pub use ba_crypto as crypto;
+pub use ba_sampler as sampler;
+pub use ba_sim as sim;
+pub use ba_topology as topology;
+
+pub use ba_core::everywhere::{EverywhereConfig, EverywhereOutcome};
+pub use ba_core::tournament::NoTreeAdversary;
+
+/// Runs the full Algorithm 4 stack (tournament + almost-everywhere→
+/// everywhere) with no adversary: the one-call happy path.
+///
+/// `input(i)` supplies processor `i`'s initial bit; `seed` makes the run
+/// reproducible.
+///
+/// For adversarial runs or custom parameters use
+/// [`ba_core::everywhere::run`] directly.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn agree<F: Fn(usize) -> bool>(n: usize, input: F, seed: u64) -> EverywhereOutcome {
+    let config = EverywhereConfig::for_n(n).with_seed(seed);
+    let inputs: Vec<bool> = (0..n).map(input).collect();
+    ba_core::everywhere::run(
+        &config,
+        &inputs,
+        &mut NoTreeAdversary,
+        ba_sim::NullAdversary,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_agree_works() {
+        let out = agree(64, |i| i % 2 == 0, 7);
+        assert!(out.valid);
+        assert!(out.everywhere_agreement);
+    }
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration tests: the whole stack wired together the way
+//! Algorithm 4 composes it.
+
+use king_saia::core::aeba::CommitteeAttack;
+use king_saia::core::attacks::{CustodyBuster, ResponseForger, StaticThird, WinnerHunter};
+use king_saia::core::coin::CoinSequence;
+use king_saia::core::everywhere::{self, EverywhereConfig};
+use king_saia::core::tournament::{self, NoTreeAdversary, TournamentConfig};
+use king_saia::sim::NullAdversary;
+
+#[test]
+fn full_stack_unanimous_true() {
+    let out = king_saia::agree(64, |_| true, 1);
+    assert!(out.valid);
+    assert!(out.everywhere_agreement);
+    assert!(out.decisions.iter().all(|d| *d == Some(true)));
+}
+
+#[test]
+fn full_stack_unanimous_false() {
+    let out = king_saia::agree(64, |_| false, 2);
+    assert!(out.valid);
+    assert!(out.everywhere_agreement);
+    assert!(out.decisions.iter().all(|d| *d == Some(false)));
+}
+
+#[test]
+fn full_stack_split_inputs() {
+    let out = king_saia::agree(128, |i| i % 2 == 0, 3);
+    assert!(out.valid);
+    assert!(out.everywhere_agreement);
+}
+
+#[test]
+fn full_stack_lopsided_inputs() {
+    // 90% of processors hold `true`; agreement should land on it (not a
+    // protocol guarantee, but overwhelming majorities win in practice).
+    let out = king_saia::agree(64, |i| i % 10 != 0, 4);
+    assert!(out.valid);
+    assert!(out.everywhere_agreement);
+    assert_eq!(out.tournament.decided, true);
+}
+
+#[test]
+fn full_stack_under_static_adversary() {
+    let n = 128;
+    let config = EverywhereConfig::for_n(n).with_seed(5);
+    let mut adv = StaticThird {
+        attack: CommitteeAttack::Oppose,
+    };
+    let out = everywhere::run(&config, &vec![true; n], &mut adv, NullAdversary);
+    assert!(out.valid, "validity under static third");
+    assert_eq!(out.ae.wrong, 0, "no wrong decisions in phase 2");
+}
+
+#[test]
+fn full_stack_under_adaptive_adversaries() {
+    let n = 128;
+    for seed in [6u64, 7] {
+        let config = EverywhereConfig::for_n(n).with_seed(seed);
+        let out = everywhere::run(
+            &config,
+            &vec![true; n],
+            &mut WinnerHunter,
+            NullAdversary,
+        );
+        assert!(out.valid, "WinnerHunter seed {seed}");
+
+        let config = EverywhereConfig::for_n(n).with_seed(seed);
+        let out = everywhere::run(
+            &config,
+            &vec![true; n],
+            &mut CustodyBuster::all_in(),
+            NullAdversary,
+        );
+        assert!(out.valid, "CustodyBuster seed {seed}");
+    }
+}
+
+#[test]
+fn full_stack_with_phase2_forgery() {
+    let n = 128;
+    let config = EverywhereConfig::for_n(n).with_seed(8);
+    let out = everywhere::run(
+        &config,
+        &vec![true; n],
+        &mut NoTreeAdversary,
+        ResponseForger {
+            count: n / 6,
+            fake: 999,
+        },
+    );
+    assert!(out.valid);
+    assert_eq!(out.ae.wrong, 0, "forged responses must never flip a decision");
+}
+
+#[test]
+fn coin_sequence_flows_between_phases() {
+    let n = 64;
+    let config = TournamentConfig::for_n(n).with_seed(9);
+    let out = tournament::run(&config, &vec![true; n], &mut NoTreeAdversary);
+    let coins = CoinSequence::from_tournament(&out);
+    assert!(!coins.is_empty());
+    assert!(coins.satisfies(2 * coins.len() / 3), "(s, 2s/3) property");
+    // Every word maps into the √n label space Algorithm 3 samples.
+    let labels = (n as f64).sqrt().ceil() as u16;
+    for i in 0..coins.len() {
+        let v = coins.number(i, labels).expect("in range");
+        assert!(v < labels);
+    }
+}
+
+#[test]
+fn outcome_metrics_are_consistent() {
+    let out = king_saia::agree(64, |i| i < 32, 10);
+    let n = 64;
+    assert_eq!(out.decisions.len(), n);
+    assert_eq!(out.bits_per_proc.len(), n);
+    assert_eq!(out.corrupt.len(), n);
+    // Phase bits add up.
+    for i in 0..n {
+        assert!(out.bits_per_proc[i] >= out.tournament.bits_per_proc[i]);
+    }
+    // Rounds add up.
+    assert!(out.rounds > out.tournament.rounds);
+    // Agreement implies the tally matches.
+    if out.everywhere_agreement {
+        assert_eq!(out.ae.wrong, 0);
+        assert_eq!(out.ae.undecided, 0);
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let a = king_saia::agree(64, |i| i % 3 == 0, 11);
+    let b = king_saia::agree(64, |i| i % 3 == 0, 11);
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.bits_per_proc, b.bits_per_proc);
+    assert_eq!(a.rounds, b.rounds);
+}
+
+#[test]
+fn different_seeds_vary_coin_words() {
+    let a = king_saia::agree(64, |_| true, 12);
+    let b = king_saia::agree(64, |_| true, 13);
+    let av: Vec<u16> = a.tournament.coin_words.iter().map(|w| w.value).collect();
+    let bv: Vec<u16> = b.tournament.coin_words.iter().map(|w| w.value).collect();
+    assert_ne!(av, bv, "coin subsequences must vary with the seed");
+}
+
+#[test]
+fn scales_to_moderate_n() {
+    // A smoke test at the largest size the unit suite touches.
+    let out = king_saia::agree(512, |i| i % 2 == 0, 14);
+    assert!(out.valid);
+    assert!(out.everywhere_agreement);
+}

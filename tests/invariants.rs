@@ -1,0 +1,102 @@
+//! Cross-crate randomized invariant tests: safety properties that must
+//! hold for *every* seed, checked over many.
+
+use king_saia::core::aeba::CommitteeAttack;
+use king_saia::core::attacks::StaticThird;
+use king_saia::core::tournament::{self, NoTreeAdversary, TournamentConfig};
+use king_saia::crypto::{shamir, Gf16};
+use king_saia::sim::derive_rng;
+use rand::Rng;
+
+/// Validity is an every-seed safety property, not a w.h.p. one, when all
+/// good processors are unanimous (Lemma 12 chains through the stack).
+#[test]
+fn unanimous_validity_over_many_seeds() {
+    let n = 64;
+    for seed in 0..12u64 {
+        let config = TournamentConfig::for_n(n).with_seed(1000 + seed);
+        let out = tournament::run(&config, &vec![true; n], &mut NoTreeAdversary);
+        assert!(out.valid, "seed {seed}: clean unanimous run lost validity");
+        assert!(out.decided, "seed {seed}: decided wrong bit");
+    }
+}
+
+/// Under the budget adversary, the decided bit is always some good
+/// processor's input (agreement may degrade; validity must not).
+#[test]
+fn adversarial_validity_over_many_seeds() {
+    let n = 64;
+    for seed in 0..8u64 {
+        let config = TournamentConfig::for_n(n).with_seed(2000 + seed);
+        let inputs: Vec<bool> = (0..n).map(|i| (i as u64 + seed) % 2 == 0).collect();
+        let out = tournament::run(
+            &config,
+            &inputs,
+            &mut StaticThird {
+                attack: CommitteeAttack::Oppose,
+            },
+        );
+        assert!(out.valid, "seed {seed}: adversarial run decided a non-input");
+    }
+}
+
+/// Corruption never exceeds the budget, whatever the adversary asks for.
+#[test]
+fn corruption_budget_is_a_hard_cap() {
+    let n = 96;
+    for seed in 0..6u64 {
+        let config = TournamentConfig::for_n(n).with_seed(3000 + seed);
+        let out = tournament::run(
+            &config,
+            &vec![false; n],
+            &mut StaticThird::default(),
+        );
+        let corrupted = out.corrupt.iter().filter(|&&c| c).count();
+        assert!(
+            corrupted <= config.params.corruption_budget(),
+            "seed {seed}: {corrupted} corrupted vs budget {}",
+            config.params.corruption_budget()
+        );
+    }
+}
+
+/// Shamir reconstruction is exact for every (n, t, secret) drawn at
+/// random — the cross-crate version of the in-crate property test, run
+/// through the public facade.
+#[test]
+fn shamir_roundtrip_random_parameters() {
+    let mut rng = derive_rng(4, 4);
+    for _ in 0..200 {
+        let n = rng.gen_range(2..40);
+        let t = rng.gen_range(0..n);
+        let secret = Gf16::new(rng.gen());
+        let shares = shamir::share(secret, n, t, &mut rng).expect("valid parameters");
+        let got = shamir::reconstruct(&shares[..t + 1]).expect("enough shares");
+        assert_eq!(got, secret);
+    }
+}
+
+/// The coin subsequence never reports more good words than words, and
+/// bits-per-processor accounting is internally consistent.
+#[test]
+fn outcome_accounting_sane_over_seeds() {
+    let n = 64;
+    for seed in 0..6u64 {
+        let config = TournamentConfig::for_n(n).with_seed(4000 + seed);
+        let inputs: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        let out = tournament::run(&config, &inputs, &mut NoTreeAdversary);
+        assert!(out.coin_words.iter().filter(|w| w.good).count() <= out.coin_words.len());
+        assert_eq!(out.bits_per_proc.len(), n);
+        let per_level: u64 = out
+            .level_stats
+            .iter()
+            .map(|s| s.expose_bits + s.agree_bits + s.winner_bits)
+            .sum();
+        let total: u64 = out.bits_per_proc.iter().sum();
+        assert!(
+            per_level <= total,
+            "per-level phase bits {per_level} exceed total {total}"
+        );
+        assert!((0.0..=1.0).contains(&out.agreement_fraction));
+    }
+}
