@@ -17,9 +17,43 @@ fn bench_gf(c: &mut Criterion) {
     let mut g = c.benchmark_group("gf16");
     let a = Gf16::new(0x1234);
     let b = Gf16::new(0xABCD);
+    // Table kernel vs. the retained shift-and-xor / Fermat reference.
     g.bench_function("mul", |bch| bch.iter(|| black_box(a) * black_box(b)));
+    g.bench_function("mul_ref", |bch| bch.iter(|| black_box(a).mul_ref(black_box(b))));
     g.bench_function("inv", |bch| bch.iter(|| black_box(a).inv()));
+    g.bench_function("inv_ref", |bch| bch.iter(|| black_box(a).inv_ref()));
+    g.bench_function("pow", |bch| bch.iter(|| black_box(a).pow(black_box(0xBEEF))));
+    g.bench_function("pow_ref", |bch| {
+        bch.iter(|| black_box(a).pow_ref(black_box(0xBEEF)))
+    });
+    let batch: Vec<Gf16> = (1..=256u16).map(Gf16::new).collect();
+    g.bench_function("batch_inv_256", |bch| {
+        bch.iter(|| {
+            let mut xs = batch.clone();
+            Gf16::batch_inv(&mut xs);
+            xs
+        })
+    });
     g.finish();
+}
+
+/// Pre-PR reconstruction: naive Lagrange over the reference kernel, one
+/// Fermat inversion per share — the "before" side of `shamir/reconstruct`.
+fn reconstruct_ref(shares: &[ba_crypto::Share]) -> Gf16 {
+    let mut acc = Gf16::ZERO;
+    for (i, si) in shares.iter().enumerate() {
+        let mut num = Gf16::ONE;
+        let mut den = Gf16::ONE;
+        for (j, sj) in shares.iter().enumerate() {
+            if i != j {
+                num = num.mul_ref(sj.x);
+                den = den.mul_ref(sj.x - si.x);
+            }
+        }
+        let li = num.mul_ref(den.inv_ref().expect("distinct points"));
+        acc += si.y.mul_ref(li);
+    }
+    acc
 }
 
 fn bench_shamir(c: &mut Criterion) {
@@ -34,6 +68,33 @@ fn bench_shamir(c: &mut Criterion) {
         let shares = shamir::share(secret, n, t, &mut rng).unwrap();
         g.bench_function(format!("reconstruct_n{n}"), |bch| {
             bch.iter(|| shamir::reconstruct(black_box(&shares[..t + 1])).unwrap())
+        });
+        g.bench_function(format!("reconstruct_ref_n{n}"), |bch| {
+            bch.iter(|| reconstruct_ref(black_box(&shares[..t + 1])))
+        });
+    }
+    // Amortized word-sequence reconstruction: weights computed once for a
+    // 64-word payload shared among 64 holders.
+    let words: Vec<Gf16> = (0..64u16).map(|i| Gf16::new(i.wrapping_mul(0x2525))).collect();
+    let holders = shamir::share_words(&words, 64, shamir::threshold_for(64), &mut rng).unwrap();
+    let quorum = &holders[..shamir::threshold_for(64) + 1];
+    g.bench_function("reconstruct_batch_64x64", |bch| {
+        bch.iter(|| shamir::reconstruct_words(black_box(quorum)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_sharetree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharetree");
+    let mut rng = derive_rng(9, 9);
+    for depth in [2usize, 3] {
+        let layers = vec![Layer::majority(8); depth];
+        let tree = ShareTree::deal(Gf16::new(0xD00D), &layers, &mut rng).unwrap();
+        g.bench_function(format!("recover_depth{depth}"), |bch| {
+            bch.iter(|| tree.recover(|_| true))
+        });
+        g.bench_function(format!("recover_quorum_depth{depth}"), |bch| {
+            bch.iter(|| tree.recover(|p| p.iter().all(|&i| i <= 4)))
         });
     }
     g.finish();
@@ -134,6 +195,7 @@ criterion_group!(
     benches,
     bench_gf,
     bench_shamir,
+    bench_sharetree,
     bench_iterated,
     bench_sampler,
     bench_election,

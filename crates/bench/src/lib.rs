@@ -98,30 +98,10 @@ pub fn stddev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
 }
 
-/// Runs `trials` seeds of `f` in parallel (crossbeam scoped threads) and
-/// returns the results in seed order.
+/// Runs `trials` seeds of `f` in parallel (scoped threads via
+/// [`ba_par::par_map_index`]) and returns the results in seed order.
 pub fn par_trials<T: Send, F: Fn(u64) -> T + Sync>(trials: u64, f: F) -> Vec<T> {
-    let mut out: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-    let chunk = out.len().div_ceil(num_threads());
-    crossbeam::scope(|s| {
-        for (ci, slot) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            s.spawn(move |_| {
-                for (i, o) in slot.iter_mut().enumerate() {
-                    *o = Some(f((ci * chunk + i) as u64));
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-    out.into_iter().map(|o| o.expect("filled")).collect()
-}
-
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(16)
+    ba_par::par_map_index(trials as usize, |i| f(i as u64))
 }
 
 #[cfg(test)]

@@ -427,36 +427,26 @@ pub fn run<A: TreeAdversary>(
         let mut agreement_sum = 0.0;
         let mut agreement_count = 0usize;
 
-        for (node, node_holdings) in holdings.iter().enumerate() {
-            let at = NodeAddr::new(level, node);
-            let held = node_holdings.clone();
+        // Elections at one level are independent (Alg. 2: "for each node C
+        // on level ℓ" runs simultaneously), so they fan out across
+        // threads. The only sequential protocol state is the adversary:
+        // its rushing bin choices are collected in a prepass (same node
+        // order as before), the heavy committee agreements run in
+        // parallel on pure derived-RNG streams, and results — bit
+        // charges, stats, winners — merge back in node order so runs stay
+        // deterministic per seed regardless of thread scheduling.
+        let num_bins = p.num_bins_at(level);
+        let attack = adversary.committee_attack();
+
+        // -- Prepass: expose bin choices (Alg. 2 step 2(a)) and let the
+        // rushing adversary fix its candidates' declarations.
+        let mut plans: Vec<ElectionPlan> = Vec::new();
+        for (node, held) in holdings.iter().enumerate() {
             if held.is_empty() {
                 continue;
             }
-            stats.elections += 1;
-            stats.candidates += held.len();
-            stats.good_candidates += held
-                .iter()
-                .filter(|&&a| !arrays[a].bad && !arrays[a].compromised)
-                .count();
-            let r_cands = held.len();
-            let members = tree.members(at);
-            let k = members.len();
-            let member_good: Vec<bool> =
-                members.iter().map(|&m| !corrupt[m as usize]).collect();
-            let node_good = def3.is_good(at);
-            let path_frac = def3.good_path_fraction(&tree, at);
-
-            // -- Expose bin choices (Alg. 2 step 2(a)) --
-            // One word per candidate travels down the subtree and opens.
-            let phase_start: u64 = bits.iter().sum();
-            charge_expose(&tree, at, r_cands as u64, &cost, &mut bits);
-            let after_expose: u64 = bits.iter().sum();
-            stats.expose_bits += after_expose - phase_start;
-
             // Good candidates' true bin choices (rushing adversary sees
             // them before fixing its own).
-            let num_bins = p.num_bins_at(level);
             let good_choices: Vec<Option<u16>> = held
                 .iter()
                 .map(|&a| {
@@ -476,129 +466,54 @@ pub fn run<A: TreeAdversary>(
                     None => adversary.bad_bin_choice(&good_choices, num_bins),
                 })
                 .collect();
+            plans.push(ElectionPlan { node, declared });
+        }
 
-            // -- Agree on bin choices (Alg. 2 step 2(b)) --
-            // r rounds of committee agreement decide all candidates'
-            // choices in parallel, bit by bit; round j's coin for
-            // candidate i opens word B_j(i).
-            let graph_seed = config.seed ^ ((level as u64) << 32) ^ node as u64;
-            let mut grng = derive_rng(graph_seed, 0x6A_6A);
-            let degree = p.aeba_degree.min(k.saturating_sub(1)).max(1);
-            let graph = RegularGraph::random_out_degree(k, degree, &mut grng);
-            let bin_bits = (num_bins as f64).log2().ceil().max(1.0) as usize;
-            let mut agreed: Vec<u16> = Vec::with_capacity(r_cands);
-            // Coin schedule per agreement round j: supplied by candidate
-            // j (mod r); genuine iff that array is good and hidden.
-            let coin_rounds = r_cands.max(4);
-            charge_expose(&tree, at, (coin_rounds * r_cands) as u64, &cost, &mut bits);
-            for (ci, &aid) in held.iter().enumerate() {
-                let mut word = 0u16;
-                for bit in 0..bin_bits {
-                    let truth = (declared[ci] >> bit) & 1 == 1;
-                    // Member input views: exposure noise blinds a few.
-                    let inputs: Vec<bool> = (0..k)
-                        .map(|m| {
-                            let mut vrng = derive_rng(
-                                config.seed,
-                                0xE44E ^ ((level as u64) << 40)
-                                    ^ ((node as u64) << 24)
-                                    ^ ((ci as u64) << 12)
-                                    ^ ((bit as u64) << 8)
-                                    ^ m as u64,
-                            );
-                            if path_frac > 0.5
-                                && !vrng.gen_bool(config.exposure_blindness.clamp(0.0, 0.49))
-                            {
-                                truth
-                            } else {
-                                vrng.gen_bool(0.5)
-                            }
-                        })
-                        .collect();
-                    let coin_view = |m: usize, j: usize| -> bool {
-                        let supplier = held[j % r_cands];
-                        let st = &arrays[supplier];
-                        let genuine = !st.bad && !st.compromised;
-                        if genuine {
-                            let w = st.array.block_for_level(level).coins[ci % {
-                                let c = st.array.block_for_level(level).coins.len();
-                                c.max(1)
-                            }];
-                            let mut vrng = derive_rng(
-                                config.seed,
-                                0xC014 ^ ((m as u64) << 20) ^ ((j as u64) << 8) ^ ci as u64,
-                            );
-                            if vrng.gen_bool(config.exposure_blindness.clamp(0.0, 0.49)) {
-                                vrng.gen_bool(0.5)
-                            } else {
-                                (w.raw() >> bit) & 1 == 1
-                            }
-                        } else {
-                            // Failed coin: adversary pushes the minority bit.
-                            !truth
-                        }
-                    };
-                    let out = run_committee(
-                        &member_good,
-                        &inputs,
-                        &graph,
-                        coin_view,
-                        coin_rounds,
-                        &config.aeba,
-                        adversary.committee_attack(),
-                        &mut rng,
-                    );
-                    // Gossip bits: one bit per neighbor per round.
-                    for (mi, &m) in members.iter().enumerate() {
-                        bits[m as usize] += (graph.degree(mi) * coin_rounds) as u64;
-                    }
-                    agreement_sum += out.agreement;
-                    agreement_count += 1;
-                    if out.decided {
-                        word |= 1 << bit;
-                    }
-                }
-                agreed.push(word % num_bins as u16);
-                let _ = aid;
+        // -- Parallel phase: per-committee agreement + election.
+        let outcomes: Vec<ElectionOutcome> = ba_par::par_map(&plans, |plan| {
+            run_node_election(
+                plan, level, num_bins, attack, &tree, &holdings, &arrays, &corrupt, &def3,
+                &cost, config,
+            )
+        });
+
+        // -- Merge in node order: charges, stats, winners, liveness.
+        for (plan, out) in plans.iter().zip(&outcomes) {
+            let held = &holdings[plan.node];
+            let at = NodeAddr::new(level, plan.node);
+            stats.elections += 1;
+            stats.candidates += held.len();
+            stats.good_candidates += held
+                .iter()
+                .filter(|&&a| !arrays[a].bad && !arrays[a].compromised)
+                .count();
+            for &(m, b) in &out.charges {
+                bits[m] += b;
             }
-
-            let after_agree: u64 = bits.iter().sum();
-            stats.agree_bits += after_agree - after_expose;
-
-            // -- Elect (lightest bin) --
-            // The election always runs on the *agreed* bin choices: the
-            // adversary's influence flows through the mechanisms already
-            // modeled (its members' committee votes, its candidates'
-            // declared bins, degraded exposure at bad-path nodes). Nodes
-            // below the Definition 3 threshold are still *counted* as bad
-            // elections for the Lemma 6 bookkeeping.
-            if !node_good || path_frac <= 0.5 {
+            stats.expose_bits += out.expose_bits;
+            stats.agree_bits += out.agree_bits;
+            stats.winner_bits += out.winner_bits;
+            agreement_sum += out.agreement_sum;
+            agreement_count += out.agreement_count;
+            // Nodes below the Definition 3 threshold are still *counted*
+            // as bad elections for the Lemma 6 bookkeeping.
+            if out.bad_election {
                 stats.bad_elections += 1;
             }
-            let target = p.w.min(r_cands);
-            let result: ElectionResult = lightest_bin(&agreed, num_bins, target);
-
-            // -- Send winner shares up (Alg. 2 step 2(c)) --
             let parent = tree.parent(at);
-            for &wi in &result.winners {
+            for &wi in &out.winners {
                 let aid = held[wi];
                 stats.winners += 1;
                 if !arrays[aid].bad && !arrays[aid].compromised {
                     stats.good_winners += 1;
                 }
-                let words = arrays[aid].array.words_from_level(level + 1) as u64;
-                for &m in members {
-                    bits[m as usize] += cost.reshare_bits(words);
-                }
                 next_holdings[parent.index].push(aid);
             }
             for (i, &aid) in held.iter().enumerate() {
-                if !result.winners.contains(&i) {
+                if !out.winners.contains(&i) {
                     arrays[aid].alive = false;
                 }
             }
-            let after_winners: u64 = bits.iter().sum();
-            stats.winner_bits += after_winners - after_agree;
         }
 
         // Rounds accrue once per level — every node's election runs in
@@ -746,6 +661,206 @@ struct ArrayState {
     alive: bool,
 }
 
+/// Sequentially-prepared inputs for one node's election: the node index
+/// and the bin choices declared for every held candidate (the adversary's
+/// rushing choices are fixed here, before any parallel work starts).
+struct ElectionPlan {
+    node: usize,
+    declared: Vec<u16>,
+}
+
+/// Everything one node's election produced, accumulated privately by a
+/// worker and merged into the executor's state in node order.
+struct ElectionOutcome {
+    /// Per-processor bit charges `(processor, bits)`, in charge order.
+    charges: Vec<(usize, u64)>,
+    expose_bits: u64,
+    agree_bits: u64,
+    winner_bits: u64,
+    agreement_sum: f64,
+    agreement_count: usize,
+    /// Whether this election counts as bad for the Lemma 6 bookkeeping.
+    bad_election: bool,
+    /// Winner positions (indices into the node's `held` list).
+    winners: Vec<usize>,
+}
+
+/// Runs one node's bin-choice agreement and lightest-bin election
+/// (Alg. 2 steps 2(a)–2(c) minus the adversary prepass). Pure with
+/// respect to executor state: reads shares/corruption/goodness, draws
+/// randomness only from streams derived from `(seed, level, node, …)`,
+/// and reports all side effects through the returned [`ElectionOutcome`].
+#[allow(clippy::too_many_arguments)]
+fn run_node_election(
+    plan: &ElectionPlan,
+    level: usize,
+    num_bins: usize,
+    attack: CommitteeAttack,
+    tree: &Tree,
+    holdings: &[Vec<usize>],
+    arrays: &[ArrayState],
+    corrupt: &[bool],
+    def3: &Goodness,
+    cost: &CostModel,
+    config: &TournamentConfig,
+) -> ElectionOutcome {
+    let p = &config.params;
+    let node = plan.node;
+    let held = &holdings[node];
+    let at = NodeAddr::new(level, node);
+    let r_cands = held.len();
+    let members = tree.members(at);
+    let k = members.len();
+    let member_good: Vec<bool> = members.iter().map(|&m| !corrupt[m as usize]).collect();
+    let node_good = def3.is_good(at);
+    let path_frac = def3.good_path_fraction(tree, at);
+
+    let mut charges: Vec<(usize, u64)> = Vec::new();
+    // Committee members are charged r_cands·bin_bits times in the gossip
+    // loop below; aggregate those into one slot per member instead of one
+    // charge tuple per (candidate, bit, member).
+    let mut member_acc: Vec<u64> = vec![0; k];
+
+    // Bin-choice exposure: one word per candidate travels down the
+    // subtree and opens.
+    let expose_bits = charge_expose_sink(tree, at, r_cands as u64, cost, &mut charges);
+
+    // -- Agree on bin choices (Alg. 2 step 2(b)) --
+    // r rounds of committee agreement decide all candidates' choices in
+    // parallel, bit by bit; round j's coin for candidate i opens word
+    // B_j(i).
+    let mut agree_bits = 0u64;
+    let graph_seed = config.seed ^ ((level as u64) << 32) ^ node as u64;
+    let mut grng = derive_rng(graph_seed, 0x6A_6A);
+    let degree = p.aeba_degree.min(k.saturating_sub(1)).max(1);
+    let graph = RegularGraph::random_out_degree(k, degree, &mut grng);
+    let bin_bits = (num_bins as f64).log2().ceil().max(1.0) as usize;
+    let mut agreed: Vec<u16> = Vec::with_capacity(r_cands);
+    // Committee-internal vote randomness: an independent stream per
+    // (seed, level, node), so elections stay deterministic per seed no
+    // matter how the level's nodes are scheduled across threads.
+    let mut crng = derive_rng(
+        config.seed,
+        0x70E1_0000 ^ ((level as u64) << 44) ^ ((node as u64) << 4),
+    );
+    // Coin schedule per agreement round j: supplied by candidate
+    // j (mod r); genuine iff that array is good and hidden.
+    let coin_rounds = r_cands.max(4);
+    agree_bits +=
+        charge_expose_sink(tree, at, (coin_rounds * r_cands) as u64, cost, &mut charges);
+    let mut agreement_sum = 0.0;
+    let mut agreement_count = 0usize;
+    for ci in 0..r_cands {
+        let mut word = 0u16;
+        for bit in 0..bin_bits {
+            let truth = (plan.declared[ci] >> bit) & 1 == 1;
+            // Member input views: exposure noise blinds a few.
+            let inputs: Vec<bool> = (0..k)
+                .map(|m| {
+                    let mut vrng = derive_rng(
+                        config.seed,
+                        0xE44E ^ ((level as u64) << 40)
+                            ^ ((node as u64) << 24)
+                            ^ ((ci as u64) << 12)
+                            ^ ((bit as u64) << 8)
+                            ^ m as u64,
+                    );
+                    if path_frac > 0.5
+                        && !vrng.gen_bool(config.exposure_blindness.clamp(0.0, 0.49))
+                    {
+                        truth
+                    } else {
+                        vrng.gen_bool(0.5)
+                    }
+                })
+                .collect();
+            let coin_view = |m: usize, j: usize| -> bool {
+                let supplier = held[j % r_cands];
+                let st = &arrays[supplier];
+                let genuine = !st.bad && !st.compromised;
+                if genuine {
+                    let w = st.array.block_for_level(level).coins[ci % {
+                        let c = st.array.block_for_level(level).coins.len();
+                        c.max(1)
+                    }];
+                    let mut vrng = derive_rng(
+                        config.seed,
+                        0xC014 ^ ((m as u64) << 20) ^ ((j as u64) << 8) ^ ci as u64,
+                    );
+                    if vrng.gen_bool(config.exposure_blindness.clamp(0.0, 0.49)) {
+                        vrng.gen_bool(0.5)
+                    } else {
+                        (w.raw() >> bit) & 1 == 1
+                    }
+                } else {
+                    // Failed coin: adversary pushes the minority bit.
+                    !truth
+                }
+            };
+            let out = run_committee(
+                &member_good,
+                &inputs,
+                &graph,
+                coin_view,
+                coin_rounds,
+                &config.aeba,
+                attack,
+                &mut crng,
+            );
+            // Gossip bits: one bit per neighbor per round.
+            for (mi, acc) in member_acc.iter_mut().enumerate() {
+                let b = (graph.degree(mi) * coin_rounds) as u64;
+                *acc += b;
+                agree_bits += b;
+            }
+            agreement_sum += out.agreement;
+            agreement_count += 1;
+            if out.decided {
+                word |= 1 << bit;
+            }
+        }
+        agreed.push(word % num_bins as u16);
+    }
+
+    // -- Elect (lightest bin) --
+    // The election always runs on the *agreed* bin choices: the
+    // adversary's influence flows through the mechanisms already modeled
+    // (its members' committee votes, its candidates' declared bins,
+    // degraded exposure at bad-path nodes).
+    let target = p.w.min(r_cands);
+    let result: ElectionResult = lightest_bin(&agreed, num_bins, target);
+
+    // -- Send winner shares up (Alg. 2 step 2(c)) --
+    let mut winner_bits = 0u64;
+    for &wi in &result.winners {
+        let aid = held[wi];
+        let words = arrays[aid].array.words_from_level(level + 1) as u64;
+        let b = cost.reshare_bits(words);
+        for acc in &mut member_acc {
+            *acc += b;
+        }
+        winner_bits += b * k as u64;
+    }
+    charges.extend(
+        members
+            .iter()
+            .zip(&member_acc)
+            .filter(|(_, &b)| b > 0)
+            .map(|(&m, &b)| (m as usize, b)),
+    );
+
+    ElectionOutcome {
+        charges,
+        expose_bits,
+        agree_bits,
+        winner_bits,
+        agreement_sum,
+        agreement_count,
+        bad_election: !node_good || path_frac <= 0.5,
+        winners: result.winners,
+    }
+}
+
 fn apply_corruptions(req: Vec<usize>, corrupt: &mut [bool], budget: &mut usize) {
     for i in req {
         if i < corrupt.len() && !corrupt[i] && *budget > 0 {
@@ -758,9 +873,28 @@ fn apply_corruptions(req: Vec<usize>, corrupt: &mut [bool], budget: &mut usize) 
 /// Charges the §3.6 costs for exposing `words` words from node `at` down
 /// to the leaves and back up the ℓ-links (sendDown + sendOpen).
 fn charge_expose(tree: &Tree, at: NodeAddr, words: u64, cost: &CostModel, bits: &mut [u64]) {
-    if words == 0 {
-        return;
+    let mut sink = Vec::new();
+    charge_expose_sink(tree, at, words, cost, &mut sink);
+    for (m, b) in sink {
+        bits[m] += b;
     }
+}
+
+/// [`charge_expose`] into a `(processor, bits)` charge list instead of a
+/// dense array, so per-committee election workers can accumulate charges
+/// privately and the executor can merge them deterministically afterwards.
+/// Returns the total bits charged.
+fn charge_expose_sink(
+    tree: &Tree,
+    at: NodeAddr,
+    words: u64,
+    cost: &CostModel,
+    out: &mut Vec<(usize, u64)>,
+) -> u64 {
+    if words == 0 {
+        return 0;
+    }
+    let mut total = 0u64;
     // Inner hops: members of every committee strictly between `at` and
     // the leaves forward shares down (approximate the subtree sweep by
     // charging each node on each level of the subtree once — exactly the
@@ -779,16 +913,21 @@ fn charge_expose(tree: &Tree, at: NodeAddr, words: u64, cost: &CostModel, bits: 
         };
         for i in count_at_level {
             for &m in tree.members(NodeAddr::new(level, i)) {
-                bits[m as usize] += cost.send_down_bits(words);
+                let b = cost.send_down_bits(words);
+                out.push((m as usize, b));
+                total += b;
             }
         }
     }
     // Leaf members: intra-node exchange + sendOpen back to `at`.
     for leaf in tree.leaf_range(at) {
         for &m in tree.members(NodeAddr::new(1, leaf)) {
-            bits[m as usize] += cost.leaf_open_bits(words);
+            let b = cost.leaf_open_bits(words);
+            out.push((m as usize, b));
+            total += b;
         }
     }
+    total
 }
 
 #[cfg(test)]

@@ -63,6 +63,10 @@ pub fn reshare<R: Rng + ?Sized>(
 /// `sendDown`. `x` is the evaluation point the reassembled share had in
 /// *its* parent's sharing.
 ///
+/// Each hop is one batched Lagrange reconstruction — a single field
+/// inversion regardless of committee size (see
+/// [`shamir::lagrange_weights_at_zero`]).
+///
 /// # Errors
 ///
 /// Propagates reconstruction errors (too few / duplicate shares).
@@ -205,6 +209,11 @@ impl ShareTree {
     /// `holds(path)` returns true, reassembling layer by layer as
     /// `sendDown` would. Returns the secret iff every required threshold is
     /// met along the way.
+    ///
+    /// Every per-committee reassembly on the way up is a batched Lagrange
+    /// reconstruction (one field inversion per committee, not one per
+    /// share), so a full recovery over an `n`-ary depth-`d` tree performs
+    /// O(n^(d-1)) inversions instead of O(n^d).
     pub fn recover<F: Fn(&[usize]) -> bool>(&self, holds: F) -> Option<Gf16> {
         let mut path = Vec::new();
         let mut avail: Vec<Share> = Vec::new();

@@ -119,6 +119,10 @@ impl Poly {
     /// Lagrange interpolation: the unique polynomial of degree
     /// `< points.len()` through the given `(x, y)` pairs.
     ///
+    /// All basis denominators `Π_{j≠i} (x_i − x_j)` are inverted together
+    /// with a single field inversion ([`Gf16::batch_inv`]); the basis
+    /// polynomial products remain the O(k²) part.
+    ///
     /// # Errors
     ///
     /// [`CryptoError::TooFewShares`] on empty input,
@@ -134,20 +138,31 @@ impl Poly {
                 }
             }
         }
+        // Invert every basis denominator in one batched pass.
+        let mut denoms: Vec<Gf16> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(xi, _))| {
+                points
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &(xj, _))| xi - xj)
+                    .product()
+            })
+            .collect();
+        Gf16::batch_inv(&mut denoms);
         let mut acc = Poly::zero();
-        for (i, &(xi, yi)) in points.iter().enumerate() {
+        for (i, &(_, yi)) in points.iter().enumerate() {
             // Basis polynomial ℓ_i(x) = Π_{j≠i} (x − x_j)/(x_i − x_j).
             let mut basis = Poly::constant(Gf16::ONE);
-            let mut denom = Gf16::ONE;
             for (j, &(xj, _)) in points.iter().enumerate() {
                 if i == j {
                     continue;
                 }
                 basis = basis.mul(&Poly::new(vec![xj, Gf16::ONE])); // (x + x_j) = (x − x_j)
-                denom *= xi - xj;
             }
-            let li = basis.scale(denom.inv().expect("distinct points"));
-            acc = acc.add(&li.scale(yi));
+            acc = acc.add(&basis.scale(denoms[i] * yi));
         }
         Ok(acc)
     }

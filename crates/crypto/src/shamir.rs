@@ -101,38 +101,74 @@ pub fn share_words<R: Rng + ?Sized>(
 /// Returns [`CryptoError::TooFewShares`] on empty input and
 /// [`CryptoError::DuplicateShareIndex`] if two shares have the same `x`.
 pub fn reconstruct(shares: &[Share]) -> Result<Gf16, CryptoError> {
-    if shares.is_empty() {
+    let xs: Vec<Gf16> = shares.iter().map(|s| s.x).collect();
+    let weights = lagrange_weights_at_zero(&xs)?;
+    Ok(shares
+        .iter()
+        .zip(&weights)
+        .map(|(s, &w)| s.y * w)
+        .sum())
+}
+
+/// The Lagrange basis weights at `x = 0` for evaluation points `xs`:
+/// `λ_i = Π_{j≠i} x_j / (x_j − x_i)`, so a reconstruction is the dot
+/// product `Σ_i λ_i·y_i`.
+///
+/// All `k` denominators are inverted with **one** field inversion
+/// (Montgomery's trick via [`Gf16::batch_inv`]); the numerators reuse
+/// prefix/suffix products instead of per-`i` scans. Callers holding many
+/// words shared at the same evaluation points ([`reconstruct_words`])
+/// compute the weights once and amortize them over every word.
+///
+/// # Errors
+///
+/// [`CryptoError::TooFewShares`] on empty input,
+/// [`CryptoError::DuplicateShareIndex`] on repeated x-coordinates.
+pub fn lagrange_weights_at_zero(xs: &[Gf16]) -> Result<Vec<Gf16>, CryptoError> {
+    let k = xs.len();
+    if k == 0 {
         return Err(CryptoError::TooFewShares { have: 0, need: 1 });
     }
-    for (i, a) in shares.iter().enumerate() {
-        for b in &shares[i + 1..] {
-            if a.x == b.x {
-                return Err(CryptoError::DuplicateShareIndex { x: a.x.raw() });
+    for (i, a) in xs.iter().enumerate() {
+        for b in &xs[i + 1..] {
+            if a == b {
+                return Err(CryptoError::DuplicateShareIndex { x: a.raw() });
             }
         }
     }
-    // Lagrange interpolation at x = 0:
-    //   secret = Σ_i y_i · Π_{j≠i} x_j / (x_j − x_i)
-    let mut acc = Gf16::ZERO;
-    for (i, si) in shares.iter().enumerate() {
-        let mut num = Gf16::ONE;
-        let mut den = Gf16::ONE;
-        for (j, sj) in shares.iter().enumerate() {
-            if i == j {
-                continue;
-            }
-            num *= sj.x;
-            den *= sj.x - si.x;
-        }
-        let li = num * den.inv().expect("distinct nonzero points; denominator nonzero");
-        acc += si.y * li;
+    // num_i = Π_{j≠i} x_j via prefix/suffix products (no division).
+    let mut prefix = vec![Gf16::ONE; k];
+    for i in 1..k {
+        prefix[i] = prefix[i - 1] * xs[i - 1];
     }
-    Ok(acc)
+    let mut suffix = vec![Gf16::ONE; k];
+    for i in (0..k - 1).rev() {
+        suffix[i] = suffix[i + 1] * xs[i + 1];
+    }
+    // den_i = Π_{j≠i} (x_j − x_i); nonzero because the points are
+    // distinct. The `Product` impl runs in the log domain, so each
+    // denominator costs k table lookups, not 3k.
+    let mut dens: Vec<Gf16> = (0..k)
+        .map(|i| {
+            xs.iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &xj)| xj - xs[i])
+                .product()
+        })
+        .collect();
+    Gf16::batch_inv(&mut dens);
+    Ok((0..k).map(|i| prefix[i] * suffix[i] * dens[i]).collect())
 }
 
 /// Reconstructs a word sequence from per-holder share vectors (the inverse
 /// of [`share_words`]). `holders[j][w]` must be holder `j`'s share of word
 /// `w`; all holders must provide equally long vectors.
+///
+/// When every holder uses one evaluation point for all its words (the
+/// layout [`share_words`] produces), the Lagrange weights are computed
+/// **once** and each word costs only a k-term dot product — O(k² + wk)
+/// total instead of O(wk²) with one inversion instead of wk.
 ///
 /// # Errors
 ///
@@ -150,6 +186,26 @@ pub fn reconstruct_words(holders: &[Vec<Share>]) -> Result<Vec<Gf16>, CryptoErro
                 actual: h.len(),
             });
         }
+    }
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    // Fast path: each holder's shares sit at a single evaluation point.
+    let uniform = holders
+        .iter()
+        .all(|h| h.iter().all(|s| s.x == h[0].x));
+    if uniform {
+        let xs: Vec<Gf16> = holders.iter().map(|h| h[0].x).collect();
+        let weights = lagrange_weights_at_zero(&xs)?;
+        return Ok((0..len)
+            .map(|w| {
+                holders
+                    .iter()
+                    .zip(&weights)
+                    .map(|(h, &wt)| h[w].y * wt)
+                    .sum()
+            })
+            .collect());
     }
     (0..len)
         .map(|w| {
@@ -271,6 +327,100 @@ mod tests {
             reconstruct_words(&holders).unwrap_err(),
             CryptoError::LengthMismatch { expected: 2, actual: 1 }
         );
+    }
+
+    /// The batched-weight reconstruction agrees with a naive Lagrange
+    /// loop that inverts every denominator separately.
+    #[test]
+    fn batched_reconstruct_matches_naive_lagrange() {
+        let mut rng = rng();
+        for n in [2usize, 3, 5, 9, 17] {
+            let secret = Gf16::new(0x5A5A ^ n as u16);
+            let t = threshold_for(n).min(n - 1);
+            let shares = share(secret, n, t, &mut rng).unwrap();
+            let naive: Gf16 = shares
+                .iter()
+                .enumerate()
+                .map(|(i, si)| {
+                    let mut num = Gf16::ONE;
+                    let mut den = Gf16::ONE;
+                    for (j, sj) in shares.iter().enumerate() {
+                        if i != j {
+                            num *= sj.x;
+                            den *= sj.x - si.x;
+                        }
+                    }
+                    si.y * num * den.inv().unwrap()
+                })
+                .sum();
+            assert_eq!(reconstruct(&shares).unwrap(), naive);
+            assert_eq!(naive, secret);
+        }
+    }
+
+    #[test]
+    fn lagrange_weights_error_cases() {
+        assert_eq!(
+            lagrange_weights_at_zero(&[]).unwrap_err(),
+            CryptoError::TooFewShares { have: 0, need: 1 }
+        );
+        let x = Gf16::new(3);
+        assert_eq!(
+            lagrange_weights_at_zero(&[x, Gf16::new(5), x]).unwrap_err(),
+            CryptoError::DuplicateShareIndex { x: 3 }
+        );
+        // Weights of a single point sum to 1 (partition of unity at 0).
+        let w = lagrange_weights_at_zero(&[Gf16::new(7)]).unwrap();
+        assert_eq!(w, vec![Gf16::ONE]);
+    }
+
+    /// Lagrange weights form a partition of unity: Σ λ_i = 1 (interpolating
+    /// the constant-1 polynomial returns 1 at x = 0).
+    #[test]
+    fn lagrange_weights_sum_to_one() {
+        for k in 1..12u16 {
+            let xs: Vec<Gf16> = (1..=k).map(Gf16::new).collect();
+            let w = lagrange_weights_at_zero(&xs).unwrap();
+            assert_eq!(w.iter().copied().sum::<Gf16>(), Gf16::ONE, "k={k}");
+        }
+    }
+
+    /// `reconstruct_words` takes the amortized single-weights path when
+    /// holders use one x each, and falls back to per-column reconstruction
+    /// when they do not; both agree with word-by-word reconstruct.
+    #[test]
+    fn reconstruct_words_fast_path_matches_columns() {
+        let mut rng = rng();
+        let words: Vec<Gf16> = (0..16u16).map(|i| Gf16::new(i.wrapping_mul(0x1357))).collect();
+        let holders = share_words(&words, 9, 4, &mut rng).unwrap();
+        let direct: Vec<Gf16> = (0..words.len())
+            .map(|w| {
+                let col: Vec<Share> = holders[..5].iter().map(|h| h[w]).collect();
+                reconstruct(&col).unwrap()
+            })
+            .collect();
+        assert_eq!(reconstruct_words(&holders[..5]).unwrap(), direct);
+        assert_eq!(direct, words);
+
+        // Break uniformity: swap two holders' shares for one word only.
+        let mut mixed = holders[..5].to_vec();
+        let w0 = mixed[0][3];
+        mixed[0][3] = mixed[1][3];
+        mixed[1][3] = w0;
+        let expect: Vec<Gf16> = (0..words.len())
+            .map(|w| {
+                let col: Vec<Share> = mixed.iter().map(|h| h[w]).collect();
+                reconstruct(&col).unwrap()
+            })
+            .collect();
+        assert_eq!(reconstruct_words(&mixed).unwrap(), expect);
+        assert_eq!(expect, words, "a swap permutes a column but keeps its points");
+    }
+
+    #[test]
+    fn reconstruct_words_empty_words() {
+        let holders: Vec<Vec<Share>> = vec![Vec::new(), Vec::new()];
+        assert_eq!(reconstruct_words(&holders).unwrap(), Vec::<Gf16>::new());
     }
 
     #[test]

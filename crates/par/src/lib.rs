@@ -1,0 +1,136 @@
+//! # ba-par — embarrassingly-parallel fan-out on scoped threads
+//!
+//! The workspace has two hot fan-out shapes: per-seed trial loops in the
+//! `exp_*` experiment binaries and the independent per-committee elections
+//! inside the tournament executor. Both are "map a pure-ish function over
+//! an index range and collect results in order". `rayon` is the natural
+//! tool, but this build environment is offline, so this crate provides the
+//! minimal equivalent on `std::thread::scope`: no work stealing, just
+//! block-cyclic index striping across `available_parallelism` workers,
+//! which balances well when per-item cost varies smoothly (trial seeds,
+//! committee sizes).
+//!
+//! Results are always returned **in input order**, and work assignment is
+//! deterministic (striping depends only on item count and thread count of
+//! the machine), so parallel callers stay reproducible per seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Number of worker threads used by the fan-out helpers: the machine's
+/// available parallelism, capped at 16 (the fan-outs here stop scaling
+/// past that), overridable via the `BA_PAR_THREADS` environment variable
+/// (`BA_PAR_THREADS=1` forces sequential execution, useful for tracing).
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("BA_PAR_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Maps `f` over `0..count` in parallel and returns results in index
+/// order. `f` runs concurrently from multiple threads; item `i`'s result
+/// lands at index `i`.
+///
+/// Falls back to a plain sequential loop when `count` is small or only
+/// one worker is available, so trivial callers pay no thread overhead.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f` (the first observed).
+pub fn par_map_index<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = num_threads().min(count.max(1));
+    if workers <= 1 || count < 2 {
+        return (0..count).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        // Hand each worker a block-cyclic stripe of the output slots:
+        // worker w gets items w, w+workers, w+2*workers, ... This keeps
+        // slow tails (e.g. the largest committees) spread across workers.
+        let mut stripes: Vec<Vec<(usize, &mut Option<T>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, slot) in out.iter_mut().enumerate() {
+            stripes[i % workers].push((i, slot));
+        }
+        for stripe in stripes {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, slot) in stripe {
+                    *slot = Some(f(i));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Maps `f` over a slice in parallel, preserving order:
+/// `par_map(items, f)[i] == f(&items[i])`.
+pub fn par_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_map_index(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_order() {
+        let out = par_map_index(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map_index(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_index(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn slice_variant_matches_sequential() {
+        let items: Vec<u64> = (0..64).map(|i| i * i).collect();
+        let out = par_map(&items, |&x| x + 1);
+        assert_eq!(out, items.iter().map(|&x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let out = par_map_index(257, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+        assert!(out.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _ = par_map_index(32, |i| {
+            if i == 13 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

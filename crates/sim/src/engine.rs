@@ -94,6 +94,9 @@ impl SimBuilder {
             budget_left: self.max_corruptions,
             flood_cap: self.flood_cap,
             inboxes: vec![Vec::new(); self.n],
+            back_inboxes: vec![Vec::new(); self.n],
+            pending: Vec::new(),
+            intercepted: Vec::new(),
             metrics: Metrics::new(self.n),
             round: 0,
         }
@@ -116,6 +119,13 @@ pub struct Sim<P: Process, A> {
     budget_left: usize,
     flood_cap: usize,
     inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    /// Last round's (already consumed) inboxes, kept to recycle their
+    /// allocations; swapped with `inboxes` each round.
+    back_inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    /// Scratch: this round's outgoing traffic (reused across rounds).
+    pending: Vec<Envelope<P::Msg>>,
+    /// Scratch: traffic visible to the rushing adversary (reused).
+    intercepted: Vec<Envelope<P::Msg>>,
     metrics: Metrics,
     round: usize,
 }
@@ -137,32 +147,40 @@ impl<P: Process, A: Adversary<P>> Sim<P, A> {
     /// 3. everything is delivered into next round's inboxes.
     pub fn step(&mut self) {
         let round = self.round;
-        let mut pending: Vec<Envelope<P::Msg>> = Vec::new();
+        // Recycle round-scratch allocations: swap last round's consumed
+        // inboxes in as this round's delivery targets (cleared below) and
+        // reuse the pending/intercepted buffers at their high-water
+        // capacity instead of re-collecting fresh `Vec`s every round.
+        self.pending.clear();
+        self.intercepted.clear();
+        std::mem::swap(&mut self.inboxes, &mut self.back_inboxes);
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
 
-        // (1) Good processors act on this round's inbox.
-        let inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); self.n]);
-        for (i, inbox) in inboxes.iter().enumerate() {
+        // (1) Good processors act on this round's inbox, emitting straight
+        // into the shared pending buffer (RoundCtx::send only pushes).
+        for (i, inbox) in self.back_inboxes.iter().enumerate() {
             if self.corrupt[i] {
                 continue;
             }
-            let mut outbox = Vec::new();
             let mut ctx = RoundCtx {
                 me: ProcId::new(i),
                 n: self.n,
                 round,
                 rng: &mut self.rngs[i],
-                outbox: &mut outbox,
+                outbox: &mut self.pending,
             };
             self.procs[i].on_round(&mut ctx, inbox);
-            pending.append(&mut outbox);
         }
 
         // (2) Rushing adversary: sees messages touching corrupt processors.
-        let intercepted: Vec<Envelope<P::Msg>> = pending
-            .iter()
-            .filter(|e| self.corrupt[e.from.index()] || self.corrupt[e.to.index()])
-            .cloned()
-            .collect();
+        self.intercepted.extend(
+            self.pending
+                .iter()
+                .filter(|e| self.corrupt[e.from.index()] || self.corrupt[e.to.index()])
+                .cloned(),
+        );
         let good_outputs_done = (0..self.n)
             .filter(|&i| !self.corrupt[i] && self.procs[i].output().is_some())
             .count();
@@ -171,7 +189,7 @@ impl<P: Process, A: Adversary<P>> Sim<P, A> {
             n: self.n,
             corrupt: &self.corrupt,
             budget_left: self.budget_left,
-            intercepted: &intercepted,
+            intercepted: &self.intercepted,
             states: &self.procs,
             good_outputs_done,
         };
@@ -195,7 +213,7 @@ impl<P: Process, A: Adversary<P>> Sim<P, A> {
                 .map(|p| p.index())
                 .filter(|i| newly_corrupt.contains(i))
                 .collect();
-            pending.retain(|e| !droppable.contains(&e.from.index()));
+            self.pending.retain(|e| !droppable.contains(&e.from.index()));
         }
         // Inject adversary traffic: only authenticated (corrupt) senders.
         let mut injected = 0usize;
@@ -204,18 +222,18 @@ impl<P: Process, A: Adversary<P>> Sim<P, A> {
                 break;
             }
             if self.corrupt[e.from.index()] {
-                pending.push(e);
+                self.pending.push(e);
                 injected += 1;
             }
         }
 
         // (3) Account and deliver.
-        for e in &pending {
+        for e in &self.pending {
             let bits = e.bit_len();
             self.metrics.charge_send(e.from, bits);
             self.metrics.charge_receive(e.to, bits);
         }
-        for e in pending {
+        for e in self.pending.drain(..) {
             self.inboxes[e.to.index()].push(e);
         }
         self.round += 1;

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Runs the criterion micro benches plus key exp_* experiment binaries and
+# emits BENCH_<N>.json (default BENCH_1.json) with gf16 / shamir /
+# tournament throughput numbers — the repository's perf trajectory file.
+#
+# Usage: scripts/bench.sh [N]
+#   N        suffix for the output file (BENCH_N.json), default 1
+#
+# The vendored criterion shim appends ndjson lines to $BENCH_JSON; this
+# script collects them, computes kernel speedups against the retained
+# reference kernel, times a couple of experiment binaries end-to-end, and
+# assembles the final JSON.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${1:-1}"
+OUT="BENCH_${N}.json"
+NDJSON="$(mktemp)"
+trap 'rm -f "$NDJSON"' EXIT
+
+echo "== criterion micro benches (release) =="
+BENCH_JSON="$NDJSON" cargo bench -p ba-bench --bench micro --offline
+
+# Experiment binaries exercising the tournament / full stack at scale
+# (each parallelizes its per-seed trial loop over ba-par workers).
+EXPERIMENTS="exp_tournament_survival exp_election_quality"
+EXP_ROWS=""
+for exp in $EXPERIMENTS; do
+    echo "== $exp =="
+    start=$(date +%s.%N)
+    cargo run --release --offline -p ba-bench --bin "$exp" >/dev/null
+    end=$(date +%s.%N)
+    wall=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.2f", b - a }')
+    echo "   ${wall}s wall"
+    EXP_ROWS="${EXP_ROWS}    {\"bin\": \"${exp}\", \"wall_seconds\": ${wall}},\n"
+done
+EXP_ROWS="${EXP_ROWS%,\\n}"
+
+# ns/iter for one benchmark name out of the collected ndjson
+# (lines look like {"bench":"gf16/mul","ns_per_iter":1.97}).
+ns() {
+    awk -F'"' -v want="$2" \
+        '$2 == "bench" && $4 == want { v = $7; sub(/^:/, "", v); sub(/}/, "", v); print v }' \
+        "$1" | tail -1
+}
+
+speedup() {
+    awk -v new="$1" -v ref="$2" 'BEGIN { if (new > 0) printf "%.1f", ref / new; else print "0" }'
+}
+
+GF_MUL=$(ns "$NDJSON" "gf16/mul");           GF_MUL_REF=$(ns "$NDJSON" "gf16/mul_ref")
+GF_INV=$(ns "$NDJSON" "gf16/inv");           GF_INV_REF=$(ns "$NDJSON" "gf16/inv_ref")
+SH_64=$(ns "$NDJSON" "shamir/reconstruct_n64")
+SH_64_REF=$(ns "$NDJSON" "shamir/reconstruct_ref_n64")
+SH_256=$(ns "$NDJSON" "shamir/reconstruct_n256")
+SH_256_REF=$(ns "$NDJSON" "shamir/reconstruct_ref_n256")
+
+{
+    echo "{"
+    echo "  \"suite\": \"king-saia micro + experiments\","
+    echo "  \"toolchain\": \"$(rustc --version | tr -d '\n')\","
+    echo "  \"speedups_vs_reference_kernel\": {"
+    echo "    \"gf16_mul\": $(speedup "$GF_MUL" "$GF_MUL_REF"),"
+    echo "    \"gf16_inv\": $(speedup "$GF_INV" "$GF_INV_REF"),"
+    echo "    \"shamir_reconstruct_n64\": $(speedup "$SH_64" "$SH_64_REF"),"
+    echo "    \"shamir_reconstruct_n256\": $(speedup "$SH_256" "$SH_256_REF")"
+    echo "  },"
+    echo "  \"micro_ns_per_iter\": ["
+    awk -F'"' '$2 == "bench" { v = $7; sub(/^:/, "", v); sub(/}/, "", v);
+        printf "    {\"bench\": \"%s\", \"ns_per_iter\": %s},\n", $4, v }' "$NDJSON" \
+        | sed '$ s/,$//'
+    echo "  ],"
+    echo "  \"experiments\": ["
+    printf "%b\n" "$EXP_ROWS"
+    echo "  ]"
+    echo "}"
+} > "$OUT"
+
+echo "wrote $OUT"

@@ -1,0 +1,175 @@
+//! Offline drop-in for the subset of `criterion` this workspace uses.
+//!
+//! Implements [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is deliberately simple: after a
+//! warm-up, each benchmark runs `sample_size` samples of an
+//! auto-calibrated batch and reports the median ns/iteration.
+//!
+//! When the `BENCH_JSON` environment variable names a file, all results
+//! are also appended there as JSON lines
+//! (`{"bench":"group/name","ns_per_iter":N}`), which `scripts/bench.sh`
+//! collects into `BENCH_*.json`.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Collects and reports benchmark results.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Prints the collected results and, if `BENCH_JSON` is set, appends
+    /// them to that file as JSON lines. Called by [`criterion_group!`].
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                for (name, ns) in &self.results {
+                    let _ = writeln!(f, "{{\"bench\":\"{name}\",\"ns_per_iter\":{ns:.2}}}");
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, name: String, ns_per_iter: f64) {
+        println!("{name:<40} {:>14} ns/iter", format_ns(ns_per_iter));
+        self.results.push((name, ns_per_iter));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.1}", ns)
+    } else if ns >= 100.0 {
+        format!("{:.1}", ns)
+    } else {
+        format!("{:.2}", ns)
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark and records its median ns/iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+
+        // Calibrate: grow the batch until one sample takes >= 2 ms (or the
+        // routine is so slow a single iteration suffices).
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher { iters, elapsed: Duration::ZERO };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        self.criterion.record(full, median);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; results are recorded
+    /// eagerly).
+    pub fn finish(self) {}
+}
+
+/// Times one batch of iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine `iters` times and records the elapsed wall time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3);
+            g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].0 == "t/add");
+        assert!(c.results[0].1 > 0.0);
+    }
+}
