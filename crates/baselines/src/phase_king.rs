@@ -201,11 +201,12 @@ mod tests {
                 action.corrupt = (0..self.t).map(ProcId::new).collect();
                 action.drop_pending_from = action.corrupt.clone();
             }
-            let corrupt: Vec<ProcId> = if view.round() == 0 {
-                (0..self.t).map(ProcId::new).collect()
-            } else {
-                view.corrupt_set()
-            };
+            let round0 = view.round() == 0;
+            let corrupt = (0..view.n()).map(ProcId::new).filter(|&c| {
+                // Round-0 targets are not yet flagged corrupt when the
+                // action is composed, so list them directly.
+                if round0 { c.index() < self.t } else { view.is_corrupt(c) }
+            });
             for c in corrupt {
                 for to in 0..view.n() {
                     let bit = to % 2 == 0;

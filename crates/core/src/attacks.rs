@@ -164,7 +164,7 @@ impl Adversary<AebaProcess> for SplitVoter {
             action.drop_pending_from = action.corrupt.clone();
         }
         // Every round: corrupted processors send alternating votes to all.
-        for c in view.corrupt_set() {
+        for c in view.corrupt_iter() {
             for to in 0..view.n() {
                 action
                     .inject
@@ -252,7 +252,7 @@ impl Adversary<AeToEProcess> for Overloader {
         if view.round() == 0 {
             action.corrupt = (0..self.count.min(view.n())).map(ProcId::new).collect();
         }
-        for c in view.corrupt_set() {
+        for c in view.corrupt_iter() {
             for _ in 0..self.copies {
                 let to = ProcId::new(rng.gen_range(0..view.n()));
                 let label = rng.gen_range(0..self.labels.max(1)) as u16;
@@ -290,7 +290,7 @@ impl Adversary<AeToEProcess> for LabelGuesser {
         }
         // One fresh guess per loop (request rounds are even).
         let guess = rng.gen_range(0..self.labels.max(1)) as u16;
-        for c in view.corrupt_set() {
+        for c in view.corrupt_iter() {
             for _ in 0..self.copies {
                 let to = ProcId::new(rng.gen_range(0..view.n()));
                 action

@@ -13,10 +13,10 @@
 //! (§5: "each execution of AlmostEverywhereToEverywhere takes Õ(√n) bits
 //! per processor, which dominates the cost").
 
-use crate::ae_to_e::{AeToEConfig, AeToEOutcome, AeToEProcess};
+use crate::ae_to_e::{AeMsg, AeToEConfig, AeToEOutcome, AeToEProcess};
 use crate::coin::CoinSequence;
 use crate::tournament::{self, TournamentConfig, TournamentOutcome, TreeAdversary};
-use ba_sim::{Adversary, BitStats, ProcId, SimBuilder};
+use ba_sim::{Adversary, BitStats, Lockstep, ProcId, SimBuilder, Transport};
 
 /// Configuration for the full Algorithm 4 stack.
 #[derive(Clone, Debug)]
@@ -102,6 +102,32 @@ where
     T: TreeAdversary,
     A: Adversary<AeToEProcess>,
 {
+    run_with_transport(
+        config,
+        inputs,
+        tree_adversary,
+        ae_adversary,
+        Lockstep::default(),
+    )
+}
+
+/// [`run`] with the message-level phase (Algorithm 3) routed through an
+/// explicit [`Transport`] — latency and fault models from `ba-net` plug
+/// in here. The tournament phase exchanges its messages inside committee
+/// executors rather than over the engine, so the transport governs the
+/// phase that dominates the paper's bit complexity.
+pub fn run_with_transport<T, A, Tr>(
+    config: &EverywhereConfig,
+    inputs: &[bool],
+    tree_adversary: &mut T,
+    ae_adversary: A,
+    transport: Tr,
+) -> EverywhereOutcome
+where
+    T: TreeAdversary,
+    A: Adversary<AeToEProcess>,
+    Tr: Transport<AeMsg>,
+{
     let n = config.tournament.params.n;
     assert_eq!(inputs.len(), n, "inputs must cover all processors");
 
@@ -136,7 +162,7 @@ where
         let sim = SimBuilder::new(n)
             .seed(config.sim_seed)
             .max_corruptions(pre_corrupt.iter().filter(|&&c| c).count() + budget_left)
-            .build(
+            .build_with_transport(
                 |p, _| {
                     let k = knowledgeable[p.index()].then_some(m);
                     AeToEProcess::new(ae_cfg.clone(), k)
@@ -145,6 +171,7 @@ where
                     targets: pre_corrupt,
                     inner: ae_adversary,
                 },
+                transport,
             );
         sim.run(rounds + 1)
     };

@@ -1,0 +1,175 @@
+//! The deterministic discrete-event queue at the heart of `ba-net`.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] that pops events
+//! in ascending `(time, tie, seq)` order:
+//!
+//! * `time` — the simulated instant the event fires (abstract ticks);
+//! * `tie` — a caller-supplied tie-break key for events at the same
+//!   instant. Callers that derive `tie` deterministically from the event
+//!   itself (the network transport uses the global emission index) get a
+//!   delivery order that is independent of heap internals;
+//! * `seq` — a monotone insertion counter, the final disambiguator, so
+//!   even fully identical keys pop in insertion order.
+//!
+//! Because the comparison key is total, the pop order is a pure function
+//! of the multiset of `(time, tie)` keys plus insertion order of exact
+//! duplicates — *not* of the interleaving in which distinct keys were
+//! pushed. The `net_determinism` proptests pin this down.
+
+use std::collections::BinaryHeap;
+
+/// One queued event (internal representation).
+#[derive(Debug)]
+struct Entry<T> {
+    time: u64,
+    tie: u64,
+    seq: u64,
+    value: T,
+}
+
+// BinaryHeap is a max-heap: reverse the comparison so the smallest
+// (time, tie, seq) key surfaces first.
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.time, other.tie, other.seq).cmp(&(self.time, self.tie, self.seq))
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.tie, self.seq) == (other.time, other.tie, other.seq)
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+/// A deterministic future-event queue keyed by `(time, tie, seq)`.
+///
+/// ```rust
+/// use ba_net::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(20, 0, "late");
+/// q.push(10, 1, "early-b");
+/// q.push(10, 0, "early-a");
+/// assert_eq!(q.pop_due(10), Some((10, "early-a")));
+/// assert_eq!(q.pop_due(10), Some((10, "early-b")));
+/// assert_eq!(q.pop_due(10), None); // "late" not due yet
+/// assert_eq!(q.pop_due(25), Some((20, "late")));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `value` at `time` with tie-break key `tie`; returns the
+    /// insertion sequence number.
+    pub fn push(&mut self, time: u64, tie: u64, value: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time,
+            tie,
+            seq,
+            value,
+        });
+        seq
+    }
+
+    /// The firing time of the earliest queued event, if any.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest event if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: u64) -> Option<(u64, T)> {
+        if self.heap.peek().is_some_and(|e| e.time <= now) {
+            self.heap.pop().map(|e| (e.time, e.value))
+        } else {
+            None
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_tie_then_seq_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 7, 'c');
+        q.push(5, 2, 'b');
+        q.push(1, 9, 'a');
+        q.push(5, 7, 'd'); // duplicate key: insertion order decides
+        let mut got = Vec::new();
+        while let Some((_, v)) = q.pop_due(u64::MAX) {
+            got.push(v);
+        }
+        assert_eq!(got, vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(10, 0, ());
+        assert_eq!(q.pop_due(9), None);
+        assert_eq!(q.peek_time(), Some(10));
+        assert!(q.pop_due(10).is_some());
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn insertion_interleaving_does_not_change_order() {
+        // Two different push interleavings of the same key set.
+        let keys = [(3u64, 0u64), (1, 1), (2, 0), (1, 0), (3, 1)];
+        let mut a = EventQueue::new();
+        for &(t, tie) in &keys {
+            a.push(t, tie, (t, tie));
+        }
+        let mut b = EventQueue::new();
+        for &(t, tie) in keys.iter().rev() {
+            b.push(t, tie, (t, tie));
+        }
+        let drain = |mut q: EventQueue<(u64, u64)>| {
+            let mut v = Vec::new();
+            while let Some((_, x)) = q.pop_due(u64::MAX) {
+                v.push(x);
+            }
+            v
+        };
+        assert_eq!(drain(a), drain(b));
+    }
+}

@@ -1,0 +1,421 @@
+//! Declarative scenario specs: plain `key = value` text, no external
+//! parser dependencies (the build environment is offline).
+//!
+//! A spec describes one named experiment: which protocol to run, at what
+//! scale, over what network (latency model, fault schedule), against
+//! which adversary, and for how many trials. The spec format is
+//! protocol-agnostic — this crate validates and carries the fields; the
+//! `scenario` runner binary in `ba-bench` maps protocol and adversary
+//! names onto concrete implementations.
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! name      = lossy-gossip
+//! protocol  = aeba                 # aeba|phase_king|ben_or|rabin|flood|ae_to_e
+//! n         = 96
+//! trials    = 8
+//! seed      = 1
+//! input     = split                # unanimous-true|unanimous-false|split|lopsided
+//! rounds    = 48                   # optional round-cap override
+//! delta     = 1000                 # ticks per round
+//! latency   = uniform 0 800       # constant D | uniform LO HI | heavytail FLOOR SCALE ALPHA CAP
+//! drop      = 0.05                 # iid message loss probability
+//! partition = 48 10 20             # boundary start heal (repeatable)
+//! crash     = 3 12                 # proc round (repeatable)
+//! churn     = 16 4 1               # period down stagger
+//! corrupt   = 8                    # adversary corruption count
+//! adversary = crash                # none|crash|split
+//! phases    = elect:12,converge:36 # stats breakdown timetable
+//! coin_success = 0.8               # aeba coin schedule knobs
+//! coin_blind   = 0.02
+//! ```
+
+use crate::fault::{Churn, Crash, FaultPlan, Partition};
+use crate::latency::LatencyModel;
+use crate::transport::NetConfig;
+use ba_sim::Schedule;
+
+/// How processor inputs are assigned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputPattern {
+    /// Every processor starts with `true`.
+    UnanimousTrue,
+    /// Every processor starts with `false`.
+    UnanimousFalse,
+    /// Alternating inputs (worst-case split).
+    Split,
+    /// 90% `true`, 10% `false`.
+    Lopsided,
+}
+
+impl InputPattern {
+    /// Processor `i`'s input bit under this pattern.
+    pub fn bit(self, i: usize) -> bool {
+        match self {
+            InputPattern::UnanimousTrue => true,
+            InputPattern::UnanimousFalse => false,
+            InputPattern::Split => i % 2 == 0,
+            InputPattern::Lopsided => i % 10 != 0,
+        }
+    }
+}
+
+/// A parsed scenario spec.
+#[derive(Clone, Debug)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in reports).
+    pub name: String,
+    /// Protocol selector (interpreted by the runner).
+    pub protocol: String,
+    /// Number of processors.
+    pub n: usize,
+    /// Independent trials (seeds `seed..seed+trials`).
+    pub trials: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Input assignment.
+    pub input: InputPattern,
+    /// Round-cap override (protocol default + slack when `None`).
+    pub rounds: Option<usize>,
+    /// Ticks per round.
+    pub delta: u64,
+    /// Wire latency model.
+    pub latency: LatencyModel,
+    /// Fault schedule.
+    pub faults: FaultPlan,
+    /// Corruption count handed to the adversary.
+    pub corrupt: usize,
+    /// Adversary selector (interpreted by the runner).
+    pub adversary: String,
+    /// Stats-breakdown timetable: `(name, rounds)` pairs.
+    pub phases: Vec<(String, usize)>,
+    /// AEBA coin-round success probability.
+    pub coin_success: f64,
+    /// AEBA fraction of processors mis-seeing successful coins.
+    pub coin_blind: f64,
+}
+
+impl ScenarioSpec {
+    /// Parses a spec from `key = value` text. Unknown keys, malformed
+    /// values, and missing required keys (`name`, `protocol`, `n`) are
+    /// errors carrying the offending line number.
+    pub fn parse(text: &str) -> Result<ScenarioSpec, String> {
+        let mut name = None;
+        let mut protocol = None;
+        let mut n = None;
+        let mut spec = ScenarioSpec {
+            name: String::new(),
+            protocol: String::new(),
+            n: 0,
+            trials: 4,
+            seed: 1,
+            input: InputPattern::Split,
+            rounds: None,
+            delta: 1_000,
+            latency: LatencyModel::Constant(0),
+            faults: FaultPlan::default(),
+            corrupt: 0,
+            adversary: "none".to_owned(),
+            phases: Vec::new(),
+            coin_success: 0.8,
+            coin_blind: 0.02,
+        };
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| at("expected `key = value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let words: Vec<&str> = value.split_whitespace().collect();
+            match key {
+                "name" => name = Some(value.to_owned()),
+                "protocol" => protocol = Some(value.to_owned()),
+                "n" => n = Some(parse_num::<usize>(value).map_err(|e| at(&e))?),
+                "trials" => spec.trials = parse_num(value).map_err(|e| at(&e))?,
+                "seed" => spec.seed = parse_num(value).map_err(|e| at(&e))?,
+                "rounds" => spec.rounds = Some(parse_num(value).map_err(|e| at(&e))?),
+                "delta" => spec.delta = parse_num(value).map_err(|e| at(&e))?,
+                "corrupt" => spec.corrupt = parse_num(value).map_err(|e| at(&e))?,
+                "adversary" => spec.adversary = value.to_owned(),
+                "drop" => spec.faults.drop_prob = parse_prob(value).map_err(|e| at(&e))?,
+                "coin_success" => spec.coin_success = parse_prob(value).map_err(|e| at(&e))?,
+                "coin_blind" => spec.coin_blind = parse_prob(value).map_err(|e| at(&e))?,
+                "input" => {
+                    spec.input = match value {
+                        "unanimous-true" => InputPattern::UnanimousTrue,
+                        "unanimous-false" => InputPattern::UnanimousFalse,
+                        "split" => InputPattern::Split,
+                        "lopsided" => InputPattern::Lopsided,
+                        other => return Err(at(&format!("unknown input pattern `{other}`"))),
+                    }
+                }
+                "latency" => spec.latency = parse_latency(&words).map_err(|e| at(&e))?,
+                "partition" => {
+                    let [boundary, from_round, heal_round] =
+                        parse_args::<usize, 3>(&words).map_err(|e| at(&e))?;
+                    if heal_round <= from_round {
+                        return Err(at("partition must heal after it starts"));
+                    }
+                    spec.faults.partitions.push(Partition {
+                        boundary,
+                        from_round,
+                        heal_round,
+                    });
+                }
+                "crash" => {
+                    let [proc, round] = parse_args::<usize, 2>(&words).map_err(|e| at(&e))?;
+                    spec.faults.crashes.push(Crash { proc, round });
+                }
+                "churn" => {
+                    let [period, down, stagger] =
+                        parse_args::<usize, 3>(&words).map_err(|e| at(&e))?;
+                    if down >= period {
+                        return Err(at("churn down-time must be shorter than the period"));
+                    }
+                    spec.faults.churn = Some(Churn {
+                        period,
+                        down,
+                        stagger,
+                    });
+                }
+                "phases" => {
+                    for part in value.split(',') {
+                        let (pname, len) = part
+                            .trim()
+                            .split_once(':')
+                            .ok_or_else(|| at("phases entries are `name:rounds`"))?;
+                        spec.phases.push((
+                            pname.trim().to_owned(),
+                            parse_num(len.trim()).map_err(|e| at(&e))?,
+                        ));
+                    }
+                }
+                other => return Err(at(&format!("unknown key `{other}`"))),
+            }
+        }
+        spec.name = name.ok_or("missing required key `name`")?;
+        spec.protocol = protocol.ok_or("missing required key `protocol`")?;
+        spec.n = n.ok_or("missing required key `n`")?;
+        if spec.n == 0 {
+            return Err("n must be positive".to_owned());
+        }
+        if spec.trials == 0 {
+            return Err("trials must be positive".to_owned());
+        }
+        if spec.delta == 0 {
+            return Err("delta must be positive".to_owned());
+        }
+        for c in &spec.faults.crashes {
+            if c.proc >= spec.n {
+                return Err(format!("crash processor {} out of range (n = {})", c.proc, spec.n));
+            }
+        }
+        for p in &spec.faults.partitions {
+            // A boundary outside (0, n) puts everyone on one side: the
+            // "partition" would silently never fire.
+            if p.boundary == 0 || p.boundary >= spec.n {
+                return Err(format!(
+                    "partition boundary {} leaves a side empty (n = {})",
+                    p.boundary, spec.n
+                ));
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The network configuration for one trial (trial seeds are
+    /// `seed + trial`, matching the protocol-side seeding).
+    pub fn net_config(&self, trial: u64) -> NetConfig {
+        let mut cfg = NetConfig {
+            delta: self.delta,
+            latency: self.latency.clone(),
+            faults: self.faults.clone(),
+            seed: self.seed.wrapping_add(trial),
+            schedule: None,
+        };
+        if !self.phases.is_empty() {
+            let mut schedule = Schedule::new();
+            for (name, len) in &self.phases {
+                schedule.push(name, *len);
+            }
+            cfg.schedule = Some(schedule);
+        }
+        cfg
+    }
+
+    /// Whether processor `p` is scheduled to crash at some point.
+    pub fn crashes_eventually(&self, p: usize) -> bool {
+        self.faults.crash_round(p).is_some()
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse::<T>()
+        .map_err(|_| format!("cannot parse `{s}` as a number"))
+}
+
+fn parse_prob(s: &str) -> Result<f64, String> {
+    let p = s
+        .parse::<f64>()
+        .map_err(|_| format!("cannot parse `{s}` as a probability"))?;
+    if (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(format!("probability `{s}` outside [0, 1]"))
+    }
+}
+
+fn parse_args<T: std::str::FromStr + Copy + Default, const K: usize>(
+    words: &[&str],
+) -> Result<[T; K], String> {
+    if words.len() != K {
+        return Err(format!("expected {K} values, got {}", words.len()));
+    }
+    let mut out = [T::default(); K];
+    for (slot, w) in out.iter_mut().zip(words) {
+        *slot = parse_num(w)?;
+    }
+    Ok(out)
+}
+
+fn parse_latency(words: &[&str]) -> Result<LatencyModel, String> {
+    match words {
+        ["constant", d] => Ok(LatencyModel::Constant(parse_num(d)?)),
+        ["uniform", lo, hi] => {
+            let (lo, hi) = (parse_num(lo)?, parse_num(hi)?);
+            if lo > hi {
+                return Err("uniform latency needs lo <= hi".to_owned());
+            }
+            Ok(LatencyModel::Uniform { lo, hi })
+        }
+        ["heavytail", floor, scale, alpha, cap] => Ok(LatencyModel::HeavyTail {
+            floor: parse_num(floor)?,
+            scale: parse_num(scale)?,
+            alpha: parse_num(alpha)?,
+            cap: parse_num(cap)?,
+        }),
+        _ => Err(
+            "latency is `constant D`, `uniform LO HI`, or `heavytail FLOOR SCALE ALPHA CAP`"
+                .to_owned(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = "\
+# a full-featured spec
+name      = kitchen-sink
+protocol  = aeba
+n         = 96
+trials    = 8
+seed      = 42
+input     = lopsided
+rounds    = 50
+delta     = 500
+latency   = heavytail 10 100 1.5 4000
+drop      = 0.05
+partition = 48 10 20
+partition = 24 30 35
+crash     = 3 12
+crash     = 7 1
+churn     = 16 4 1
+corrupt   = 8
+adversary = crash
+phases    = elect:12, converge:38
+coin_success = 0.7
+coin_blind   = 0.05
+";
+
+    #[test]
+    fn parses_every_field() {
+        let s = ScenarioSpec::parse(FULL).expect("parse");
+        assert_eq!(s.name, "kitchen-sink");
+        assert_eq!(s.protocol, "aeba");
+        assert_eq!(s.n, 96);
+        assert_eq!(s.trials, 8);
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.input, InputPattern::Lopsided);
+        assert_eq!(s.rounds, Some(50));
+        assert_eq!(s.delta, 500);
+        assert!(matches!(s.latency, LatencyModel::HeavyTail { floor: 10, .. }));
+        assert!((s.faults.drop_prob - 0.05).abs() < 1e-12);
+        assert_eq!(s.faults.partitions.len(), 2);
+        assert_eq!(s.faults.crashes.len(), 2);
+        assert_eq!(
+            s.faults.churn,
+            Some(Churn { period: 16, down: 4, stagger: 1 })
+        );
+        assert_eq!(s.corrupt, 8);
+        assert_eq!(s.adversary, "crash");
+        assert_eq!(s.phases, vec![("elect".to_owned(), 12), ("converge".to_owned(), 38)]);
+        assert!((s.coin_success - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimal_spec_gets_defaults() {
+        let s = ScenarioSpec::parse("name=x\nprotocol=flood\nn=16\n").expect("parse");
+        assert_eq!(s.trials, 4);
+        assert_eq!(s.delta, 1_000);
+        assert_eq!(s.latency, LatencyModel::Constant(0));
+        assert!(s.faults.is_trivial());
+        assert_eq!(s.adversary, "none");
+        assert!(s.net_config(0).schedule.is_none());
+    }
+
+    #[test]
+    fn net_config_derives_trial_seed_and_schedule() {
+        let s = ScenarioSpec::parse(
+            "name=x\nprotocol=flood\nn=16\nseed=10\nphases=a:2,b:3\n",
+        )
+        .expect("parse");
+        let cfg = s.net_config(5);
+        assert_eq!(cfg.seed, 15);
+        let sched = cfg.schedule.expect("schedule");
+        assert_eq!(sched.total_rounds(), 5);
+        assert_eq!(sched.phase(1).name, "b");
+    }
+
+    #[test]
+    fn input_patterns_assign_bits() {
+        assert!(InputPattern::UnanimousTrue.bit(3));
+        assert!(!InputPattern::UnanimousFalse.bit(3));
+        assert!(InputPattern::Split.bit(0) && !InputPattern::Split.bit(1));
+        let trues = (0..100).filter(|&i| InputPattern::Lopsided.bit(i)).count();
+        assert_eq!(trues, 90);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = ScenarioSpec::parse("name=x\nbogus-line\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = ScenarioSpec::parse("name=x\nwat = 1\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+        let err = ScenarioSpec::parse("name=x\nprotocol=p\nn=4\ncrash = 9 0\n").unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err =
+            ScenarioSpec::parse("name=x\nprotocol=p\nn=4\npartition = 9 0 5\n").unwrap_err();
+        assert!(err.contains("side empty"), "{err}");
+        let err =
+            ScenarioSpec::parse("name=x\nprotocol=p\nn=4\npartition = 0 0 5\n").unwrap_err();
+        assert!(err.contains("side empty"), "{err}");
+        let err = ScenarioSpec::parse("protocol=p\nn=4\n").unwrap_err();
+        assert!(err.contains("name"), "{err}");
+        let err =
+            ScenarioSpec::parse("name=x\nprotocol=p\nn=4\nlatency = warp 9\n").unwrap_err();
+        assert!(err.contains("latency"), "{err}");
+        let err = ScenarioSpec::parse("name=x\nprotocol=p\nn=4\ndrop = 1.5\n").unwrap_err();
+        assert!(err.contains("probability"), "{err}");
+        let err = ScenarioSpec::parse("name=x\nprotocol=p\nn=4\nchurn = 4 4 0\n").unwrap_err();
+        assert!(err.contains("churn"), "{err}");
+        let err =
+            ScenarioSpec::parse("name=x\nprotocol=p\nn=4\npartition = 2 5 5\n").unwrap_err();
+        assert!(err.contains("heal"), "{err}");
+    }
+}

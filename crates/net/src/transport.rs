@@ -1,0 +1,536 @@
+//! The synchrony adapter: a [`Transport`] that runs round-based
+//! protocols over a timed, faulty network.
+//!
+//! Round `r` of the protocol occupies ticks `[r·delta, (r+1)·delta)`.
+//! A message emitted in round `r` leaves at tick `r·delta`, spends a
+//! sampled latency on the wire, and is delivered at the start of the
+//! first round whose opening tick is at or past its arrival — never
+//! earlier than round `r + 1`, so the synchronous abstraction survives:
+//! with zero-latency links every delivery lands exactly where the
+//! lockstep engine puts it, byte-identically. Latency beyond `delta`
+//! makes the message *late* (it arrives in a later round than the
+//! protocol's timetable assumes); the transport counts lateness and loss
+//! per [`Schedule`] phase of the sending round.
+
+use crate::event::EventQueue;
+use crate::fault::{DropCause, FaultPlan};
+use crate::latency::LatencyModel;
+use ba_sim::{derive_rng, Envelope, ProcId, Schedule, SimRng, Transport};
+
+/// Label space for the network transport's RNG stream (labels `0..n` are
+/// processor coins, `1 << 40` the adversary, `1 << 41` sampler
+/// construction — see `ba_sim::derive_rng`).
+pub const NET_LABEL: u64 = 1 << 42;
+
+/// Configuration of one [`NetTransport`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Ticks per protocol round (the delivery deadline: latency beyond
+    /// this makes a message late).
+    pub delta: u64,
+    /// Per-message wire latency.
+    pub latency: LatencyModel,
+    /// Fault injectors.
+    pub faults: FaultPlan,
+    /// Master seed; the transport draws from `derive_rng(seed, NET_LABEL)`.
+    pub seed: u64,
+    /// Optional protocol timetable for per-phase stats breakdowns.
+    pub schedule: Option<Schedule>,
+}
+
+impl NetConfig {
+    /// The paper's network: zero latency, no faults. Runs byte-identical
+    /// to the lockstep engine.
+    pub fn synchronous() -> Self {
+        NetConfig {
+            delta: 1_000,
+            latency: LatencyModel::Constant(0),
+            faults: FaultPlan::default(),
+            seed: 0,
+            schedule: None,
+        }
+    }
+
+    /// Sets the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the master seed of the transport's derived stream.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attaches a protocol timetable for per-phase breakdowns.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self::synchronous()
+    }
+}
+
+/// Network counters for one phase of the sending timetable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseNetStats {
+    /// Phase name (from the [`Schedule`]; the trailing catch-all bucket
+    /// for rounds past the timetable is named `"(past-schedule)"`).
+    pub name: String,
+    /// Envelopes handed to the transport during this phase.
+    pub sent: u64,
+    /// Envelopes delivered (whenever they arrived).
+    pub delivered: u64,
+    /// Envelopes delivered after their round deadline.
+    pub late: u64,
+    /// Total rounds of lateness over all late envelopes.
+    pub late_rounds: u64,
+    /// Envelopes lost to random link drops.
+    pub dropped_random: u64,
+    /// Envelopes lost to partition cuts.
+    pub dropped_partition: u64,
+    /// Envelopes delivered to an offline (crashed / churned-out)
+    /// recipient, keyed — like every other counter — by the phase of the
+    /// *sending* round.
+    pub dead_letters: u64,
+}
+
+/// Aggregate network statistics for one run.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Envelopes handed to the transport (post-adversary).
+    pub sent: u64,
+    /// Envelopes delivered to an inbox.
+    pub delivered: u64,
+    /// Envelopes delivered after their round deadline.
+    pub late: u64,
+    /// Total rounds of lateness over all late envelopes.
+    pub late_rounds: u64,
+    /// Envelopes lost to random link drops.
+    pub dropped_random: u64,
+    /// Envelopes lost to partition cuts.
+    pub dropped_partition: u64,
+    /// Envelopes delivered to a processor that was offline (crashed or
+    /// churned out) in the delivery round: the wire carried them, but
+    /// the recipient never processed them.
+    pub dead_letters: u64,
+    /// Envelopes still in flight when the run ended.
+    pub in_flight_at_end: u64,
+    /// Per-phase breakdown (present when the config carried a
+    /// [`Schedule`]; phases in timetable order, then the catch-all).
+    pub per_phase: Vec<PhaseNetStats>,
+}
+
+impl NetStats {
+    /// Total envelopes lost to faults.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_random + self.dropped_partition
+    }
+
+    /// Fraction of sent envelopes lost to faults (0.0 when nothing sent).
+    /// Dead letters count as lost: they reached a dead recipient.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            (self.dropped() + self.dead_letters) as f64 / self.sent as f64
+        }
+    }
+
+    /// Fraction of delivered envelopes that missed their deadline.
+    pub fn late_rate(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.late as f64 / self.delivered as f64
+        }
+    }
+}
+
+/// An envelope in flight, remembering when it left.
+#[derive(Debug)]
+struct InFlight<M> {
+    sent_round: usize,
+    env: Envelope<M>,
+}
+
+/// The timed, faulty network behind the synchronous engine.
+///
+/// Determinism contract: every random decision (latency samples, random
+/// drops) is drawn from one stream derived as
+/// `derive_rng(seed, NET_LABEL)`, consumed in the engine's global
+/// emission order; partitions, crashes, and churn are pure functions of
+/// `(round, processor ids)`. Runs are therefore byte-identical per seed
+/// regardless of how many worker threads run *other* trials around them.
+#[derive(Debug)]
+pub struct NetTransport<M> {
+    cfg: NetConfig,
+    /// Per-processor crash round (precomputed from the plan), `usize::MAX`
+    /// when the processor never crashes.
+    crash_round: Vec<usize>,
+    queue: EventQueue<InFlight<M>>,
+    rng: SimRng,
+    stats: NetStats,
+    /// Emission counter, used as the event-queue tie key so delivery
+    /// order is a pure function of (arrival, emission order).
+    emitted: u64,
+}
+
+impl<M> NetTransport<M> {
+    /// Builds the transport for `n` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.delta == 0`.
+    pub fn new(n: usize, cfg: NetConfig) -> Self {
+        assert!(cfg.delta > 0, "delta must be at least one tick per round");
+        let crash_round: Vec<usize> = (0..n)
+            .map(|p| cfg.faults.crash_round(p).unwrap_or(usize::MAX))
+            .collect();
+        let rng = derive_rng(cfg.seed, NET_LABEL);
+        let mut stats = NetStats::default();
+        if let Some(schedule) = &cfg.schedule {
+            stats.per_phase = schedule
+                .iter()
+                .map(|p| PhaseNetStats {
+                    name: p.name.clone(),
+                    ..PhaseNetStats::default()
+                })
+                .collect();
+            stats.per_phase.push(PhaseNetStats {
+                name: "(past-schedule)".to_owned(),
+                ..PhaseNetStats::default()
+            });
+        }
+        NetTransport {
+            cfg,
+            crash_round,
+            queue: EventQueue::new(),
+            rng,
+            stats,
+            emitted: 0,
+        }
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Consumes the transport, folding still-in-flight envelopes into
+    /// [`NetStats::in_flight_at_end`].
+    pub fn into_stats(mut self) -> NetStats {
+        self.stats.in_flight_at_end = self.queue.len() as u64;
+        self.stats
+    }
+
+    /// The phase-stats bucket for a sending round (`None` without a
+    /// schedule).
+    fn phase_bucket(&mut self, sent_round: usize) -> Option<&mut PhaseNetStats> {
+        if self.stats.per_phase.is_empty() {
+            return None;
+        }
+        let last = self.stats.per_phase.len() - 1;
+        let idx = self
+            .cfg
+            .schedule
+            .as_ref()
+            .and_then(|s| s.locate(sent_round))
+            .map_or(last, |(phase, _)| phase);
+        self.stats.per_phase.get_mut(idx)
+    }
+}
+
+impl<M> Transport<M> for NetTransport<M> {
+    fn send(&mut self, round: usize, env: Envelope<M>) {
+        self.stats.sent += 1;
+        if let Some(b) = self.phase_bucket(round) {
+            b.sent += 1;
+        }
+        if let Some(cause) =
+            self.cfg
+                .faults
+                .dropped(round, env.from.index(), env.to.index(), &mut self.rng)
+        {
+            match cause {
+                DropCause::Random => {
+                    self.stats.dropped_random += 1;
+                    if let Some(b) = self.phase_bucket(round) {
+                        b.dropped_random += 1;
+                    }
+                }
+                DropCause::Partition => {
+                    self.stats.dropped_partition += 1;
+                    if let Some(b) = self.phase_bucket(round) {
+                        b.dropped_partition += 1;
+                    }
+                }
+            }
+            return;
+        }
+        let latency = self.cfg.latency.sample(&mut self.rng);
+        let arrival = (round as u64)
+            .saturating_mul(self.cfg.delta)
+            .saturating_add(latency);
+        let tie = self.emitted;
+        self.emitted += 1;
+        self.queue.push(
+            arrival,
+            tie,
+            InFlight {
+                sent_round: round,
+                env,
+            },
+        );
+    }
+
+    fn collect(&mut self, round: usize, deliver: &mut dyn FnMut(Envelope<M>)) {
+        // Everything that arrived by this round's opening tick is due.
+        // (Nothing sent in round r can arrive before r·delta, and collect
+        // for round r runs before round r's sends, so the r+1 floor is
+        // structural.)
+        let now = (round as u64).saturating_mul(self.cfg.delta);
+        while let Some((_, inflight)) = self.queue.pop_due(now) {
+            self.stats.delivered += 1;
+            // The wire did its job, but a recipient that is dead or
+            // churned out this round will never read the message.
+            let dead = !self.is_online(round, inflight.env.to);
+            if dead {
+                self.stats.dead_letters += 1;
+            }
+            let lateness = round.saturating_sub(inflight.sent_round + 1) as u64;
+            if lateness > 0 {
+                self.stats.late += 1;
+                self.stats.late_rounds += lateness;
+            }
+            if let Some(b) = self.phase_bucket(inflight.sent_round) {
+                b.delivered += 1;
+                if dead {
+                    b.dead_letters += 1;
+                }
+                if lateness > 0 {
+                    b.late += 1;
+                    b.late_rounds += lateness;
+                }
+            }
+            deliver(inflight.env);
+        }
+    }
+
+    fn is_online(&self, round: usize, p: ProcId) -> bool {
+        let i = p.index();
+        if self.crash_round.get(i).is_some_and(|&c| round >= c) {
+            return false;
+        }
+        !self
+            .cfg
+            .faults
+            .churn
+            .is_some_and(|c| c.is_down(round, i))
+    }
+
+    fn is_faulty(&self, round: usize, p: ProcId) -> bool {
+        self.crash_round
+            .get(p.index())
+            .is_some_and(|&c| round >= c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Churn, Crash, Partition};
+
+    fn env(from: usize, to: usize, v: u16) -> Envelope<u16> {
+        Envelope::new(ProcId::new(from), ProcId::new(to), v)
+    }
+
+    fn drain(t: &mut NetTransport<u16>, round: usize) -> Vec<u16> {
+        let mut got = Vec::new();
+        t.collect(round, &mut |e| got.push(e.payload));
+        got
+    }
+
+    #[test]
+    fn zero_latency_is_next_round_in_emission_order() {
+        let mut t = NetTransport::new(4, NetConfig::synchronous());
+        // Engine call order: collect for round r, then round r's sends.
+        assert!(drain(&mut t, 0).is_empty());
+        t.send(0, env(0, 1, 10));
+        t.send(0, env(1, 1, 11));
+        t.send(0, env(2, 1, 12));
+        assert_eq!(drain(&mut t, 1), vec![10, 11, 12]);
+        assert_eq!(t.stats().late, 0);
+        assert_eq!(t.stats().delivered, 3);
+    }
+
+    #[test]
+    fn latency_beyond_delta_is_late() {
+        let cfg = NetConfig::synchronous().with_latency(LatencyModel::Constant(2_500));
+        let mut t = NetTransport::new(2, cfg);
+        t.send(0, env(0, 1, 7));
+        assert!(drain(&mut t, 1).is_empty());
+        assert!(drain(&mut t, 2).is_empty());
+        assert_eq!(drain(&mut t, 3), vec![7]); // arrival 2500 ≤ 3000
+        assert_eq!(t.stats().late, 1);
+        assert_eq!(t.stats().late_rounds, 2);
+        assert!((t.stats().late_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_drops_cross_traffic_and_heals() {
+        let cfg = NetConfig::synchronous().with_faults(FaultPlan {
+            partitions: vec![Partition {
+                boundary: 1,
+                from_round: 0,
+                heal_round: 2,
+            }],
+            ..FaultPlan::default()
+        });
+        let mut t = NetTransport::new(2, cfg);
+        t.send(0, env(0, 1, 1)); // severed
+        t.send(0, env(1, 1, 2)); // same side, survives
+        assert_eq!(drain(&mut t, 1), vec![2]);
+        t.send(2, env(0, 1, 3)); // healed
+        assert_eq!(drain(&mut t, 3), vec![3]);
+        assert_eq!(t.stats().dropped_partition, 1);
+        assert_eq!(t.stats().dropped(), 1);
+    }
+
+    #[test]
+    fn crash_and_churn_drive_online_and_faulty() {
+        let cfg = NetConfig::synchronous().with_faults(FaultPlan {
+            crashes: vec![Crash { proc: 0, round: 5 }],
+            churn: Some(Churn {
+                period: 4,
+                down: 1,
+                stagger: 0,
+            }),
+            ..FaultPlan::default()
+        });
+        let t: NetTransport<u16> = NetTransport::new(3, cfg);
+        let p0 = ProcId::new(0);
+        let p1 = ProcId::new(1);
+        assert!(t.is_online(4, p0));
+        assert!(!t.is_online(5, p0), "crashed");
+        assert!(t.is_faulty(5, p0));
+        assert!(!t.is_faulty(4, p0));
+        // Churn: down when round % 4 == 3, back afterwards.
+        assert!(!t.is_online(3, p1));
+        assert!(t.is_online(4, p1));
+        assert!(!t.is_faulty(3, p1), "churn is not a permanent fault");
+    }
+
+    #[test]
+    fn per_phase_buckets_key_on_sending_round() {
+        let mut schedule = Schedule::new();
+        schedule.push("first", 2);
+        schedule.push("second", 2);
+        let cfg = NetConfig::synchronous()
+            .with_schedule(schedule)
+            .with_latency(LatencyModel::Constant(1_500));
+        let mut t = NetTransport::new(2, cfg);
+        t.send(1, env(0, 1, 1)); // "first", will be late (arrival 2500 → round 3)
+        t.send(2, env(0, 1, 2)); // "second"
+        t.send(9, env(0, 1, 3)); // past the timetable
+        let _ = drain(&mut t, 3);
+        let _ = drain(&mut t, 4);
+        let _ = drain(&mut t, 11);
+        let stats = t.into_stats();
+        assert_eq!(stats.per_phase.len(), 3);
+        assert_eq!(stats.per_phase[0].name, "first");
+        assert_eq!(stats.per_phase[0].sent, 1);
+        assert_eq!(stats.per_phase[0].late, 1);
+        assert_eq!(stats.per_phase[1].sent, 1);
+        assert_eq!(stats.per_phase[2].name, "(past-schedule)");
+        assert_eq!(stats.per_phase[2].sent, 1);
+        assert_eq!(stats.sent, 3);
+        assert_eq!(stats.in_flight_at_end, 0);
+    }
+
+    #[test]
+    fn deliveries_to_crashed_receivers_are_dead_letters() {
+        let cfg = NetConfig::synchronous().with_faults(FaultPlan {
+            crashes: vec![Crash { proc: 1, round: 2 }],
+            ..FaultPlan::default()
+        });
+        let mut t = NetTransport::new(3, cfg);
+        t.send(0, env(2, 1, 1)); // arrives round 1: receiver still up
+        assert_eq!(drain(&mut t, 1), vec![1]);
+        t.send(1, env(2, 1, 2)); // arrives round 2: receiver crashed
+        assert_eq!(drain(&mut t, 2), vec![2], "wire still delivers");
+        assert_eq!(t.stats().dead_letters, 1);
+        assert_eq!(t.stats().delivered, 2);
+        // Dead letters count as loss for reporting purposes.
+        assert!((t.stats().loss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    /// Crash faults flow through to `RunOutcome::faulty`, so the
+    /// engine's agreement helpers exclude crashed processors without
+    /// callers re-deriving liveness from the fault plan.
+    #[test]
+    fn run_outcome_reports_crashed_processors_as_faulty() {
+        use ba_sim::{NullAdversary, Process, RoundCtx, SimBuilder};
+
+        /// Broadcast-once / majority-decide toy protocol.
+        struct Echo(bool, Option<bool>);
+        impl Process for Echo {
+            type Msg = bool;
+            type Output = bool;
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, bool>, inbox: &[Envelope<bool>]) {
+                match ctx.round() {
+                    0 => {
+                        for p in ctx.all_procs() {
+                            ctx.send(p, self.0);
+                        }
+                    }
+                    1 => self.1 = Some(inbox.iter().filter(|e| e.payload).count() * 2 > inbox.len()),
+                    _ => {}
+                }
+            }
+            fn output(&self) -> Option<bool> {
+                self.1
+            }
+        }
+
+        let cfg = NetConfig::synchronous().with_faults(FaultPlan {
+            crashes: vec![Crash { proc: 0, round: 0 }],
+            ..FaultPlan::default()
+        });
+        let outcome = SimBuilder::new(4)
+            .build_with_transport(
+                |_, _| Echo(true, None),
+                NullAdversary,
+                NetTransport::new(4, cfg),
+            )
+            .run(5);
+        assert_eq!(outcome.faulty, vec![true, false, false, false]);
+        assert!(outcome.outputs[0].is_none(), "crashed at round 0, never ran");
+        // The agreement helpers hold the three live processors to
+        // agreement — and only them.
+        assert_eq!(outcome.good_count(), 3);
+        assert!(outcome.all_good_agree_on(&true));
+        assert_eq!(outcome.good_agreement_fraction(), 1.0);
+    }
+
+    #[test]
+    fn into_stats_counts_undelivered() {
+        let mut t = NetTransport::new(2, NetConfig::synchronous());
+        t.send(0, env(0, 1, 1));
+        let stats = t.into_stats();
+        assert_eq!(stats.in_flight_at_end, 1);
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.loss_rate(), 0.0);
+    }
+}

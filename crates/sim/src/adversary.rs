@@ -38,12 +38,20 @@ impl<'a, P: Process> AdvView<'a, P> {
         self.corrupt[p.index()]
     }
 
-    /// Ids of all currently corrupted processors.
+    /// Iterates over the ids of all currently corrupted processors, in id
+    /// order, without allocating.
+    pub fn corrupt_iter(&self) -> impl Iterator<Item = ProcId> + '_ {
+        self.corrupt
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| ProcId::new(i))
+    }
+
+    /// Ids of all currently corrupted processors, collected into a `Vec`
+    /// (convenience wrapper over [`AdvView::corrupt_iter`]).
     pub fn corrupt_set(&self) -> Vec<ProcId> {
-        (0..self.n)
-            .filter(|&i| self.corrupt[i])
-            .map(ProcId::new)
-            .collect()
+        self.corrupt_iter().collect()
     }
 
     /// How many further corruptions the budget allows.

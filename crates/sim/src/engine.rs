@@ -6,6 +6,7 @@ use crate::message::Envelope;
 use crate::metrics::Metrics;
 use crate::process::{Process, RoundCtx};
 use crate::rng::{derive_rng, SimRng, ADVERSARY_LABEL};
+use crate::transport::{Lockstep, Transport};
 
 /// Builder for a [`Sim`]: number of processors, randomness seed,
 /// corruption budget, and flood cap.
@@ -74,11 +75,26 @@ impl SimBuilder {
     }
 
     /// Instantiates processors via `make(proc_id, n)` and couples them with
-    /// `adversary`.
-    pub fn build<P, A, F>(self, mut make: F, adversary: A) -> Sim<P, A>
+    /// `adversary`, on the default [`Lockstep`] transport (the paper's
+    /// synchronous network).
+    pub fn build<P, A, F>(self, make: F, adversary: A) -> Sim<P, A>
     where
         P: Process,
         A: Adversary<P>,
+        F: FnMut(ProcId, usize) -> P,
+    {
+        self.build_with_transport(make, adversary, Lockstep::default())
+    }
+
+    /// Like [`SimBuilder::build`], but routes every envelope through
+    /// `transport` — latency, loss, partitions, crash and churn models all
+    /// plug in here (see the `ba-net` crate) without any change to the
+    /// `Process` implementations.
+    pub fn build_with_transport<P, A, T, F>(self, mut make: F, adversary: A, transport: T) -> Sim<P, A, T>
+    where
+        P: Process,
+        A: Adversary<P>,
+        T: Transport<P::Msg>,
         F: FnMut(ProcId, usize) -> P,
     {
         let procs: Vec<P> = (0..self.n).map(|i| make(ProcId::new(i), self.n)).collect();
@@ -90,11 +106,11 @@ impl SimBuilder {
             rngs,
             adversary,
             adv_rng,
+            transport,
             corrupt: vec![false; self.n],
             budget_left: self.max_corruptions,
             flood_cap: self.flood_cap,
             inboxes: vec![Vec::new(); self.n],
-            back_inboxes: vec![Vec::new(); self.n],
             pending: Vec::new(),
             intercepted: Vec::new(),
             metrics: Metrics::new(self.n),
@@ -109,19 +125,19 @@ impl SimBuilder {
 /// [`Sim::step`] (one round at a time, for tests that inspect
 /// intermediate state).
 #[derive(Debug)]
-pub struct Sim<P: Process, A> {
+pub struct Sim<P: Process, A, T = Lockstep<<P as Process>::Msg>> {
     n: usize,
     procs: Vec<P>,
     rngs: Vec<SimRng>,
     adversary: A,
     adv_rng: SimRng,
+    transport: T,
     corrupt: Vec<bool>,
     budget_left: usize,
     flood_cap: usize,
+    /// This round's deliveries, filled from the transport at the start of
+    /// each step; cleared (allocations kept) before refilling.
     inboxes: Vec<Vec<Envelope<P::Msg>>>,
-    /// Last round's (already consumed) inboxes, kept to recycle their
-    /// allocations; swapped with `inboxes` each round.
-    back_inboxes: Vec<Vec<Envelope<P::Msg>>>,
     /// Scratch: this round's outgoing traffic (reused across rounds).
     pending: Vec<Envelope<P::Msg>>,
     /// Scratch: traffic visible to the rushing adversary (reused).
@@ -130,38 +146,56 @@ pub struct Sim<P: Process, A> {
     round: usize,
 }
 
-impl<P: Process, A: Adversary<P>> Sim<P, A> {
+impl<P: Process, A: Adversary<P>, T: Transport<P::Msg>> Sim<P, A, T> {
     /// Runs until every good processor has an output, or `max_rounds`
     /// rounds have executed. Returns the outcome.
-    pub fn run(mut self, max_rounds: usize) -> RunOutcome<P::Output> {
+    pub fn run(self, max_rounds: usize) -> RunOutcome<P::Output> {
+        self.run_parts(max_rounds).0
+    }
+
+    /// Like [`Sim::run`], but also hands back the transport so callers can
+    /// read the statistics it accumulated (lateness, loss, partitions).
+    pub fn run_parts(mut self, max_rounds: usize) -> (RunOutcome<P::Output>, T) {
         while self.round < max_rounds && !self.all_good_decided() {
             self.step();
         }
-        self.finish()
+        self.finish_parts()
     }
 
     /// Executes a single synchronous round:
-    /// 1. good processors consume their inboxes and emit messages;
-    /// 2. the (rushing) adversary sees traffic touching corrupt processors,
+    /// 1. the transport delivers every envelope due at the start of the
+    ///    round into the inboxes;
+    /// 2. good, online processors consume their inboxes and emit messages;
+    /// 3. the (rushing) adversary sees traffic touching corrupt processors,
     ///    corrupts adaptively within budget, and injects its own messages;
-    /// 3. everything is delivered into next round's inboxes.
+    /// 4. surviving traffic is handed to the transport for future delivery.
     pub fn step(&mut self) {
         let round = self.round;
-        // Recycle round-scratch allocations: swap last round's consumed
-        // inboxes in as this round's delivery targets (cleared below) and
-        // reuse the pending/intercepted buffers at their high-water
-        // capacity instead of re-collecting fresh `Vec`s every round.
+        // Reuse the round-scratch allocations (inboxes, pending,
+        // intercepted) at their high-water capacity instead of
+        // re-collecting fresh `Vec`s every round.
         self.pending.clear();
         self.intercepted.clear();
-        std::mem::swap(&mut self.inboxes, &mut self.back_inboxes);
         for inbox in &mut self.inboxes {
             inbox.clear();
         }
 
-        // (1) Good processors act on this round's inbox, emitting straight
-        // into the shared pending buffer (RoundCtx::send only pushes).
-        for (i, inbox) in self.back_inboxes.iter().enumerate() {
-            if self.corrupt[i] {
+        // (1) Deliver everything due at the start of this round.
+        {
+            let inboxes = &mut self.inboxes;
+            let metrics = &mut self.metrics;
+            self.transport.collect(round, &mut |e: Envelope<P::Msg>| {
+                metrics.charge_receive(e.to, e.bit_len());
+                inboxes[e.to.index()].push(e);
+            });
+        }
+
+        // (2) Good, online processors act on this round's inbox, emitting
+        // straight into the shared pending buffer (RoundCtx::send only
+        // pushes). Offline (crashed / churned-out) processors skip the
+        // round; whatever was just delivered to them is lost.
+        for (i, inbox) in self.inboxes.iter().enumerate() {
+            if self.corrupt[i] || !self.transport.is_online(round, ProcId::new(i)) {
                 continue;
             }
             let mut ctx = RoundCtx {
@@ -174,7 +208,7 @@ impl<P: Process, A: Adversary<P>> Sim<P, A> {
             self.procs[i].on_round(&mut ctx, inbox);
         }
 
-        // (2) Rushing adversary: sees messages touching corrupt processors.
+        // (3) Rushing adversary: sees messages touching corrupt processors.
         self.intercepted.extend(
             self.pending
                 .iter()
@@ -227,22 +261,25 @@ impl<P: Process, A: Adversary<P>> Sim<P, A> {
             }
         }
 
-        // (3) Account and deliver.
-        for e in &self.pending {
-            let bits = e.bit_len();
-            self.metrics.charge_send(e.from, bits);
-            self.metrics.charge_receive(e.to, bits);
-        }
+        // (4) Account sends and hand this round's traffic to the
+        // transport; receive charges happen on delivery, so dropped or
+        // still-in-flight envelopes are never charged to their recipient.
         for e in self.pending.drain(..) {
-            self.inboxes[e.to.index()].push(e);
+            self.metrics.charge_send(e.from, e.bit_len());
+            self.transport.send(round, e);
         }
         self.round += 1;
         self.metrics.set_rounds(self.round);
     }
 
-    /// Whether every good processor has decided.
+    /// Whether every good processor has decided (permanently failed —
+    /// crash-stopped — processors are not waited for).
     pub fn all_good_decided(&self) -> bool {
-        (0..self.n).all(|i| self.corrupt[i] || self.procs[i].output().is_some())
+        (0..self.n).all(|i| {
+            self.corrupt[i]
+                || self.procs[i].output().is_some()
+                || self.transport.is_faulty(self.round, ProcId::new(i))
+        })
     }
 
     /// The current round number (number of completed rounds).
@@ -264,18 +301,31 @@ impl<P: Process, A: Adversary<P>> Sim<P, A> {
 
     /// Finalizes the run and extracts outputs and metrics.
     pub fn finish(self) -> RunOutcome<P::Output> {
+        self.finish_parts().0
+    }
+
+    /// Like [`Sim::finish`], but also returns the transport (for reading
+    /// accumulated network statistics).
+    pub fn finish_parts(self) -> (RunOutcome<P::Output>, T) {
         let outputs: Vec<Option<P::Output>> = self
             .procs
             .iter()
             .enumerate()
             .map(|(i, p)| if self.corrupt[i] { None } else { p.output() })
             .collect();
-        RunOutcome {
-            rounds: self.round,
-            corrupt: self.corrupt,
-            outputs,
-            metrics: self.metrics,
-        }
+        let faulty: Vec<bool> = (0..self.n)
+            .map(|i| self.transport.is_faulty(self.round, ProcId::new(i)))
+            .collect();
+        (
+            RunOutcome {
+                rounds: self.round,
+                corrupt: self.corrupt,
+                faulty,
+                outputs,
+                metrics: self.metrics,
+            },
+            self.transport,
+        )
     }
 }
 
@@ -286,6 +336,13 @@ pub struct RunOutcome<O> {
     pub rounds: usize,
     /// Which processors ended corrupted.
     pub corrupt: Vec<bool>,
+    /// Which processors ended permanently failed at the transport level
+    /// (crash-stop faults — the benign counterpart of `corrupt`). All
+    /// `false` on the lockstep transport. Crashed processors are not
+    /// "good" for the agreement helpers below: agreement is a property
+    /// of *correct* processors, and a crashed one may have halted
+    /// undecided (its pre-crash output, if any, is still in `outputs`).
+    pub faulty: Vec<bool>,
     /// Per-processor outputs; `None` for corrupted or undecided processors.
     pub outputs: Vec<Option<O>>,
     /// Communication accounting.
@@ -333,10 +390,10 @@ impl<O: PartialEq> RunOutcome<O> {
     }
 
     fn good_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.corrupt.len()).filter(|&i| !self.corrupt[i])
+        (0..self.corrupt.len()).filter(|&i| !self.corrupt[i] && !self.faulty[i])
     }
 
-    /// Number of good processors.
+    /// Number of good (neither corrupted nor crash-stopped) processors.
     pub fn good_count(&self) -> usize {
         self.good_indices().count()
     }

@@ -81,6 +81,7 @@ mod payload;
 mod process;
 mod rng;
 mod schedule;
+mod transport;
 
 pub use adversary::{AdvAction, AdvView, Adversary, NullAdversary, StaticAdversary};
 pub use engine::{RunOutcome, Sim, SimBuilder};
@@ -90,4 +91,5 @@ pub use metrics::{BitStats, Metrics};
 pub use payload::Payload;
 pub use process::{Process, RoundCtx};
 pub use rng::{derive_rng, SimRng};
-pub use schedule::{Phase, Schedule};
+pub use schedule::{Phase, PhaseId, Schedule};
+pub use transport::{Lockstep, Transport};

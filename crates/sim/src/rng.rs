@@ -15,8 +15,9 @@ pub type SimRng = ChaCha12Rng;
 ///
 /// Streams with distinct `(seed, label)` pairs are computationally
 /// independent. Labels 0..n are used for processor private coins; higher
-/// label spaces are reserved for adversaries (`1 << 40 | i`) and
-/// infrastructure such as sampler construction (`1 << 41 | i`).
+/// label spaces are reserved for adversaries (`1 << 40 | i`),
+/// infrastructure such as sampler construction (`1 << 41 | i`), and the
+/// `ba-net` network transport (`1 << 42`).
 ///
 /// ```rust
 /// use ba_sim::derive_rng;

@@ -1,0 +1,117 @@
+//! Pluggable message delivery: the engine's delivery path as a trait.
+//!
+//! The synchronous engine models *what* processors and the adversary say;
+//! a [`Transport`] models *how* (and whether, and when) those envelopes
+//! reach their recipients. The default [`Lockstep`] transport reproduces
+//! the paper's §1.1 model exactly: every envelope emitted in round `r` is
+//! delivered at the start of round `r + 1`, in emission order. The
+//! `ba-net` crate layers latency and fault models behind this same trait
+//! without touching any `Process` implementation.
+
+use crate::ids::ProcId;
+use crate::message::Envelope;
+
+/// Where the engine hands off outgoing traffic and asks for deliveries.
+///
+/// Contract (all of it is what keeps runs deterministic and replayable):
+///
+/// * [`Transport::send`] is called once per surviving envelope of a round,
+///   in global emission order (good processors in id order, then adversary
+///   injections), after the adversary has acted.
+/// * [`Transport::collect`] is called exactly once at the start of each
+///   round `r`, before any processor runs, and must yield every envelope
+///   due at `r` in a deterministic order. An envelope sent in round `r`
+///   must not be delivered before round `r + 1`.
+/// * [`Transport::is_online`] gates *benign* availability (crash-stop,
+///   churn): an offline processor neither executes its round logic nor
+///   reads its inbox. Byzantine corruption stays the engine's business.
+/// * [`Transport::is_faulty`] marks processors that are permanently gone;
+///   the engine's termination check stops waiting for their outputs.
+pub trait Transport<M> {
+    /// Accepts one envelope emitted during `round` (post-adversary), in
+    /// global emission order. The transport decides its fate: deliver on
+    /// time, deliver late, or drop.
+    fn send(&mut self, round: usize, env: Envelope<M>);
+
+    /// Delivers every envelope due at the start of `round` through
+    /// `deliver`, in the transport's deterministic delivery order.
+    fn collect(&mut self, round: usize, deliver: &mut dyn FnMut(Envelope<M>));
+
+    /// Whether processor `p` executes its round logic in `round`. Offline
+    /// processors skip the round and lose whatever was delivered to them.
+    fn is_online(&self, round: usize, p: ProcId) -> bool {
+        let _ = (round, p);
+        true
+    }
+
+    /// Whether `p` is permanently failed as of `round` (crash-stop). The
+    /// engine excludes faulty processors from "has everyone decided".
+    fn is_faulty(&self, round: usize, p: ProcId) -> bool {
+        let _ = (round, p);
+        false
+    }
+}
+
+/// The paper's synchronous network: everything sent in round `r` arrives
+/// at the start of round `r + 1`, in emission order, lossless.
+///
+/// ```rust
+/// use ba_sim::{Envelope, Lockstep, ProcId, Transport};
+/// let mut t: Lockstep<bool> = Lockstep::default();
+/// t.send(0, Envelope::new(ProcId::new(0), ProcId::new(1), true));
+/// let mut got = Vec::new();
+/// t.collect(1, &mut |e| got.push(e));
+/// assert_eq!(got.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Lockstep<M> {
+    buf: Vec<Envelope<M>>,
+}
+
+impl<M> Default for Lockstep<M> {
+    fn default() -> Self {
+        Lockstep { buf: Vec::new() }
+    }
+}
+
+impl<M> Transport<M> for Lockstep<M> {
+    fn send(&mut self, _round: usize, env: Envelope<M>) {
+        self.buf.push(env);
+    }
+
+    fn collect(&mut self, _round: usize, deliver: &mut dyn FnMut(Envelope<M>)) {
+        // Everything in the buffer was sent last round, so all of it is
+        // due now; draining preserves emission order and recycles the
+        // allocation at its high-water capacity.
+        for env in self.buf.drain(..) {
+            deliver(env);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lockstep_delivers_in_emission_order() {
+        let mut t: Lockstep<u16> = Lockstep::default();
+        for i in 0..5u16 {
+            t.send(3, Envelope::new(ProcId::new(i as usize), ProcId::new(0), i));
+        }
+        let mut got = Vec::new();
+        t.collect(4, &mut |e| got.push(e.payload));
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        // Buffer is drained.
+        let mut again = Vec::new();
+        t.collect(5, &mut |e| again.push(e.payload));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn lockstep_defaults_keep_everyone_up() {
+        let t: Lockstep<bool> = Lockstep::default();
+        assert!(t.is_online(0, ProcId::new(0)));
+        assert!(!t.is_faulty(1000, ProcId::new(3)));
+    }
+}

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Runs the criterion micro benches plus key exp_* experiment binaries and
-# emits BENCH_<N>.json (default BENCH_1.json) with gf16 / shamir /
-# tournament throughput numbers — the repository's perf trajectory file.
+# Runs the criterion micro benches, key exp_* experiment binaries, and
+# the declarative scenario suite (scenarios/*.scn over the ba-net fault
+# models), then emits BENCH_<N>.json (default BENCH_1.json) — the
+# repository's perf + robustness trajectory file.
 #
 # Usage: scripts/bench.sh [N]
 #   N        suffix for the output file (BENCH_N.json), default 1
 #
 # The vendored criterion shim appends ndjson lines to $BENCH_JSON; this
 # script collects them, computes kernel speedups against the retained
-# reference kernel, times a couple of experiment binaries end-to-end, and
-# assembles the final JSON.
+# reference kernel, times a couple of experiment binaries end-to-end,
+# runs the scenario suite for its JSON rows, and assembles the final
+# JSON.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,7 +19,8 @@ cd "$(dirname "$0")/.."
 N="${1:-1}"
 OUT="BENCH_${N}.json"
 NDJSON="$(mktemp)"
-trap 'rm -f "$NDJSON"' EXIT
+SCNJSON="$(mktemp)"
+trap 'rm -f "$NDJSON" "$SCNJSON"' EXIT
 
 echo "== criterion micro benches (release) =="
 BENCH_JSON="$NDJSON" cargo bench -p ba-bench --bench micro --offline
@@ -36,6 +39,9 @@ for exp in $EXPERIMENTS; do
     EXP_ROWS="${EXP_ROWS}    {\"bin\": \"${exp}\", \"wall_seconds\": ${wall}},\n"
 done
 EXP_ROWS="${EXP_ROWS%,\\n}"
+
+echo "== scenario suite (ba-net fault models) =="
+cargo run --release --offline -p ba-bench --bin scenario -- scenarios --json "$SCNJSON"
 
 # ns/iter for one benchmark name out of the collected ndjson
 # (lines look like {"bench":"gf16/mul","ns_per_iter":1.97}).
@@ -73,7 +79,9 @@ SH_256_REF=$(ns "$NDJSON" "shamir/reconstruct_ref_n256")
     echo "  ],"
     echo "  \"experiments\": ["
     printf "%b\n" "$EXP_ROWS"
-    echo "  ]"
+    echo "  ],"
+    echo "  \"scenarios\":"
+    sed 's/^/  /' "$SCNJSON"
     echo "}"
 } > "$OUT"
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the one entry point local runs, bench runs, and
+# the roadmap's "tier-1 verify" all share.
+#
+# Usage: scripts/ci.sh [--with-scenarios]
+#   --with-scenarios   additionally run the declarative scenario suite
+#                      (scenarios/*.scn) as a smoke test.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test -q =="
+cargo test -q --offline
+
+if [[ "${1:-}" == "--with-scenarios" ]]; then
+    echo "== scenario suite =="
+    cargo run --release --offline -p ba-bench --bin scenario -- scenarios
+fi
+
+echo "ci: OK"

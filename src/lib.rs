@@ -17,6 +17,7 @@
 //! | [`topology`] | the q-ary communication tree, good-node analysis |
 //! | [`core`] | Algorithms 1–5: elections, AEBA with unreliable coins, the tournament, almost-everywhere→everywhere, everywhere agreement |
 //! | [`baselines`] | Phase King, Ben-Or, Rabin comparators |
+//! | [`net`] | discrete-event network: latency models, fault injection, scenario specs |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@
 pub use ba_baselines as baselines;
 pub use ba_core as core;
 pub use ba_crypto as crypto;
+pub use ba_net as net;
 pub use ba_sampler as sampler;
 pub use ba_sim as sim;
 pub use ba_topology as topology;

@@ -100,3 +100,86 @@ fn outcome_accounting_sane_over_seeds() {
         assert!((0.0..=1.0).contains(&out.agreement_fraction));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Determinism properties of the network layer and the round timetable
+// ---------------------------------------------------------------------------
+
+use king_saia::net::EventQueue;
+use king_saia::sim::Schedule;
+use proptest::prelude::*;
+
+proptest! {
+    /// The `ba-net` delivery-order contract: the pop order of an event
+    /// queue is a pure function of the `(time, tie)` key set — any
+    /// interleaving of the insertions (rotations, reversal) yields the
+    /// identical delivery order, which is the key set sorted.
+    #[test]
+    fn event_queue_pop_order_is_insertion_invariant(
+        raw in proptest::collection::vec(any::<u64>(), 1..40),
+        rot in 0usize..40,
+    ) {
+        let keys: Vec<(u64, u64)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x % 50, i as u64)) // clustered times, unique ties
+            .collect();
+        let drain = |mut q: EventQueue<(u64, u64)>| {
+            let mut v = Vec::new();
+            while let Some((_, x)) = q.pop_due(u64::MAX) {
+                v.push(x);
+            }
+            v
+        };
+        let mut forward = EventQueue::new();
+        for &(t, tie) in &keys {
+            forward.push(t, tie, (t, tie));
+        }
+        let rot = rot % keys.len();
+        let mut rotated = EventQueue::new();
+        for &(t, tie) in keys.iter().skip(rot).chain(keys.iter().take(rot)) {
+            rotated.push(t, tie, (t, tie));
+        }
+        let mut reversed = EventQueue::new();
+        for &(t, tie) in keys.iter().rev() {
+            reversed.push(t, tie, (t, tie));
+        }
+        let order = drain(forward);
+        prop_assert_eq!(&order, &drain(rotated));
+        prop_assert_eq!(&order, &drain(reversed));
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(order, sorted);
+    }
+
+    /// `Schedule::locate` round-trips: every round inside the timetable
+    /// maps to the unique phase containing it with the exact offset, and
+    /// everything past the end maps to `None` — including across
+    /// zero-length phases.
+    #[test]
+    fn schedule_locate_round_trips(
+        lens in proptest::collection::vec(0usize..7, 1..12),
+        probe in 0usize..100,
+    ) {
+        let mut s = Schedule::new();
+        let ids: Vec<usize> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| s.push(&format!("ph{i}"), l))
+            .collect();
+        prop_assert_eq!(ids, (0..lens.len()).collect::<Vec<usize>>());
+        let total = s.total_rounds();
+        prop_assert_eq!(total, lens.iter().sum::<usize>());
+        for r in 0..total {
+            let located = s.locate(r);
+            prop_assert!(located.is_some(), "round {} unlocated", r);
+            let (id, off) = located.unwrap();
+            let p = s.phase(id);
+            prop_assert!(p.contains(r));
+            prop_assert_eq!(p.start + off, r);
+            prop_assert!(off < p.len, "offset {} in zero-length phase", off);
+        }
+        prop_assert_eq!(s.locate(total), None);
+        prop_assert_eq!(s.locate(total + probe), None);
+    }
+}

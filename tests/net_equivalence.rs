@@ -1,0 +1,249 @@
+//! The synchrony-adapter equivalence contract: under `ba-net` with
+//! zero-latency links and no faults, every protocol run is
+//! **byte-identical** to the same run on the lockstep engine — same
+//! outputs, same round counts, same bit accounting, same corruption
+//! trace. This is what licenses reading every fault-injection result as
+//! a *perturbation* of the paper's model rather than a different model.
+
+use king_saia::baselines::{
+    BenOrConfig, BenOrProcess, FloodConfig, FloodProcess, PhaseKingConfig, PhaseKingProcess,
+    RabinConfig, RabinProcess,
+};
+use king_saia::core::ae_to_e::{AeToEConfig, AeToEProcess};
+use king_saia::core::aeba::{AebaConfig, AebaProcess, UnreliableCoin};
+use king_saia::core::attacks::{ResponseForger, SplitVoter};
+use king_saia::core::everywhere::{self, EverywhereConfig};
+use king_saia::core::tournament::NoTreeAdversary;
+use king_saia::net::{NetConfig, NetTransport};
+use king_saia::sampler::RegularGraph;
+use king_saia::sim::{
+    Adversary, NullAdversary, ProcId, Process, RunOutcome, SimBuilder, StaticAdversary,
+};
+use rand::SeedableRng;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// Runs the same configuration on the lockstep engine and on the
+/// zero-latency network and asserts byte-identity of everything
+/// observable.
+fn assert_equivalent<P, F, A, G>(n: usize, seed: u64, max_rounds: usize, mut make: F, mut adv: G)
+where
+    P: Process,
+    P::Output: PartialEq + Debug,
+    F: FnMut() -> Box<dyn FnMut(ProcId, usize) -> P>,
+    A: Adversary<P>,
+    G: FnMut() -> A,
+{
+    let lockstep: RunOutcome<P::Output> = SimBuilder::new(n)
+        .seed(seed)
+        .build(make(), adv())
+        .run(max_rounds);
+    let net: RunOutcome<P::Output> = SimBuilder::new(n)
+        .seed(seed)
+        .build_with_transport(
+            make(),
+            adv(),
+            NetTransport::new(n, NetConfig::synchronous().with_seed(seed)),
+        )
+        .run(max_rounds);
+    assert_eq!(lockstep.rounds, net.rounds, "round counts diverge");
+    assert_eq!(lockstep.corrupt, net.corrupt, "corruption traces diverge");
+    assert_eq!(lockstep.faulty, net.faulty, "fault traces diverge");
+    assert!(net.faulty.iter().all(|&f| !f), "fault-free net marked faults");
+    assert!(lockstep.outputs == net.outputs, "outputs diverge");
+    assert_eq!(
+        lockstep.metrics.total_bits(),
+        net.metrics.total_bits(),
+        "bit accounting diverges"
+    );
+    assert_eq!(lockstep.metrics.total_msgs(), net.metrics.total_msgs());
+    for i in 0..n {
+        let p = ProcId::new(i);
+        assert_eq!(
+            lockstep.metrics.bits_sent_by(p),
+            net.metrics.bits_sent_by(p),
+            "per-processor bits diverge at {p}"
+        );
+    }
+}
+
+#[test]
+fn flood_is_equivalent() {
+    for seed in [1u64, 2, 3] {
+        let cfg = FloodConfig::for_n(64);
+        assert_equivalent(
+            64,
+            seed,
+            cfg.rounds + 2,
+            move || Box::new(move |p, _| FloodProcess::new(cfg, p.index() % 2 == 0)),
+            || NullAdversary,
+        );
+    }
+}
+
+#[test]
+fn phase_king_is_equivalent_under_crashes() {
+    for seed in [1u64, 2] {
+        let cfg = PhaseKingConfig::for_n(48);
+        assert_equivalent(
+            48,
+            seed,
+            cfg.total_rounds() + 2,
+            move || Box::new(move |p, _| PhaseKingProcess::new(cfg, p.index() % 3 == 0)),
+            || StaticAdversary::first_k(5),
+        );
+    }
+}
+
+#[test]
+fn ben_or_is_equivalent() {
+    for seed in [1u64, 2] {
+        let cfg = BenOrConfig::for_n(40);
+        assert_equivalent(
+            40,
+            seed,
+            cfg.total_rounds() + 2,
+            move || Box::new(move |p, _| BenOrProcess::new(cfg, p.index() % 2 == 0)),
+            || StaticAdversary::first_k(3),
+        );
+    }
+}
+
+#[test]
+fn rabin_is_equivalent() {
+    for seed in [1u64, 2] {
+        let cfg = RabinConfig::for_n(40);
+        assert_equivalent(
+            40,
+            seed,
+            cfg.total_rounds() + 2,
+            move || Box::new(move |p, _| RabinProcess::new(cfg, p.index() % 2 == 1)),
+            || NullAdversary,
+        );
+    }
+}
+
+#[test]
+fn aeba_is_equivalent_under_split_voter() {
+    let n = 96;
+    for seed in [1u64, 2] {
+        let mut grng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+        let degree = (6.0 * (n as f64).sqrt()).ceil() as usize;
+        let graph = Arc::new(RegularGraph::random_out_degree(n, degree, &mut grng));
+        let coin = Arc::new(UnreliableCoin::generate(40, 0.8, 0.02, seed));
+        let cfg = AebaConfig {
+            rounds: 40,
+            ..AebaConfig::default()
+        };
+        let (g, c, cfg2) = (graph.clone(), coin.clone(), cfg.clone());
+        assert_equivalent(
+            n,
+            seed,
+            cfg.rounds + 2,
+            move || {
+                let (g, c, cfg) = (g.clone(), c.clone(), cfg2.clone());
+                Box::new(move |p: ProcId, _| {
+                    AebaProcess::new(
+                        p,
+                        p.index() % 2 == 0,
+                        g.clone(),
+                        c.clone(),
+                        cfg.clone(),
+                        false,
+                    )
+                })
+            },
+            || SplitVoter { count: n / 5 },
+        );
+    }
+}
+
+#[test]
+fn ae_to_e_is_equivalent_under_forgery() {
+    let n = 100;
+    for seed in [1u64, 2] {
+        let cfg = AeToEConfig::for_n(n, 0.1);
+        let rounds = cfg.total_rounds();
+        let cutoff = (n * 2) / 3;
+        let cfg2 = cfg.clone();
+        assert_equivalent(
+            n,
+            seed,
+            rounds + 1,
+            move || {
+                let cfg = cfg2.clone();
+                Box::new(move |p: ProcId, _| {
+                    let k = (p.index() < cutoff).then_some(55u64);
+                    AeToEProcess::new(cfg.clone(), k)
+                })
+            },
+            || ResponseForger {
+                count: n / 6,
+                fake: 999,
+            },
+        );
+    }
+}
+
+/// The full Algorithm-4 stack (tournament phase 1 + Algorithm-3 phase 2)
+/// through `run_with_transport` on the zero-latency network: identical
+/// decisions, rounds, bits, and coin words to the plain `run` — the
+/// "tournament runs unchanged" contract, on the integration-test seeds.
+#[test]
+fn everywhere_stack_is_equivalent() {
+    let n = 64;
+    for seed in [1u64, 2, 3] {
+        let config = EverywhereConfig::for_n(n).with_seed(seed);
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let a = everywhere::run(&config, &inputs, &mut NoTreeAdversary, NullAdversary);
+        let b = everywhere::run_with_transport(
+            &config,
+            &inputs,
+            &mut NoTreeAdversary,
+            NullAdversary,
+            NetTransport::new(n, NetConfig::synchronous().with_seed(seed)),
+        );
+        assert_eq!(a.decisions, b.decisions, "seed {seed}");
+        assert_eq!(a.rounds, b.rounds, "seed {seed}");
+        assert_eq!(a.bits_per_proc, b.bits_per_proc, "seed {seed}");
+        assert_eq!(a.corrupt, b.corrupt, "seed {seed}");
+        assert_eq!(a.everywhere_agreement, b.everywhere_agreement);
+        assert_eq!(a.valid, b.valid);
+        let aw: Vec<u16> = a.tournament.coin_words.iter().map(|w| w.value).collect();
+        let bw: Vec<u16> = b.tournament.coin_words.iter().map(|w| w.value).collect();
+        assert_eq!(aw, bw, "seed {seed}: tournament coin words diverge");
+    }
+}
+
+/// Every spec in the starter scenario library parses, and its network
+/// config round-trips the declared phases.
+#[test]
+fn scenario_library_parses() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios");
+    let mut count = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("scenarios/ exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable spec");
+        let spec = king_saia::net::ScenarioSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(spec.trials > 0);
+        let cfg = spec.net_config(0);
+        if !spec.phases.is_empty() {
+            let total: usize = spec.phases.iter().map(|(_, l)| l).sum();
+            assert_eq!(
+                cfg.schedule.as_ref().map(|s| s.total_rounds()),
+                Some(total),
+                "{}",
+                path.display()
+            );
+        }
+        count += 1;
+    }
+    assert!(count >= 8, "starter library shrank to {count} specs");
+}
