@@ -97,7 +97,9 @@ impl Process for FloodProcess {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_sim::{AdvAction, AdvView, Adversary, NullAdversary, ProcId, SimBuilder, SimRng, StaticAdversary};
+    use ba_sim::{
+        AdvAction, AdvView, Adversary, NullAdversary, ProcId, SimBuilder, SimRng, StaticAdversary,
+    };
 
     #[test]
     fn clean_majority_wins() {
@@ -140,8 +142,11 @@ mod tests {
                 a.drop_pending_from = a.corrupt.clone();
             }
             for to in 0..view.n() {
-                a.inject
-                    .push(Envelope::new(ProcId::new(0), ProcId::new(to), FloodMsg(to % 2 == 0)));
+                a.inject.push(Envelope::new(
+                    ProcId::new(0),
+                    ProcId::new(to),
+                    FloodMsg(to % 2 == 0),
+                ));
             }
             a
         }

@@ -205,7 +205,11 @@ mod tests {
             let corrupt = (0..view.n()).map(ProcId::new).filter(|&c| {
                 // Round-0 targets are not yet flagged corrupt when the
                 // action is composed, so list them directly.
-                if round0 { c.index() < self.t } else { view.is_corrupt(c) }
+                if round0 {
+                    c.index() < self.t
+                } else {
+                    view.is_corrupt(c)
+                }
             });
             for c in corrupt {
                 for to in 0..view.n() {

@@ -165,7 +165,10 @@ mod tests {
         let cfg = RabinConfig::for_n(n);
         SimBuilder::new(n)
             .seed(seed)
-            .build(|p, _| RabinProcess::new(cfg, inputs(p.index())), NullAdversary)
+            .build(
+                |p, _| RabinProcess::new(cfg, inputs(p.index())),
+                NullAdversary,
+            )
             .run(cfg.total_rounds() + 2)
     }
 

@@ -3,8 +3,8 @@
 //! sampler and regular-graph construction, the lightest-bin election,
 //! one committee-agreement execution, and one Algorithm-3 loop.
 
-use ba_core::aeba::{run_committee, AebaConfig, CommitteeAttack};
 use ba_core::ae_to_e::{AeToEConfig, AeToEProcess};
+use ba_core::aeba::{run_committee, AebaConfig, CommitteeAttack};
 use ba_core::election::lightest_bin;
 use ba_crypto::iterated::{Layer, ShareTree};
 use ba_crypto::{shamir, Gf16};
@@ -19,10 +19,14 @@ fn bench_gf(c: &mut Criterion) {
     let b = Gf16::new(0xABCD);
     // Table kernel vs. the retained shift-and-xor / Fermat reference.
     g.bench_function("mul", |bch| bch.iter(|| black_box(a) * black_box(b)));
-    g.bench_function("mul_ref", |bch| bch.iter(|| black_box(a).mul_ref(black_box(b))));
+    g.bench_function("mul_ref", |bch| {
+        bch.iter(|| black_box(a).mul_ref(black_box(b)))
+    });
     g.bench_function("inv", |bch| bch.iter(|| black_box(a).inv()));
     g.bench_function("inv_ref", |bch| bch.iter(|| black_box(a).inv_ref()));
-    g.bench_function("pow", |bch| bch.iter(|| black_box(a).pow(black_box(0xBEEF))));
+    g.bench_function("pow", |bch| {
+        bch.iter(|| black_box(a).pow(black_box(0xBEEF)))
+    });
     g.bench_function("pow_ref", |bch| {
         bch.iter(|| black_box(a).pow_ref(black_box(0xBEEF)))
     });
@@ -75,7 +79,9 @@ fn bench_shamir(c: &mut Criterion) {
     }
     // Amortized word-sequence reconstruction: weights computed once for a
     // 64-word payload shared among 64 holders.
-    let words: Vec<Gf16> = (0..64u16).map(|i| Gf16::new(i.wrapping_mul(0x2525))).collect();
+    let words: Vec<Gf16> = (0..64u16)
+        .map(|i| Gf16::new(i.wrapping_mul(0x2525)))
+        .collect();
     let holders = shamir::share_words(&words, 64, shamir::threshold_for(64), &mut rng).unwrap();
     let quorum = &holders[..shamir::threshold_for(64) + 1];
     g.bench_function("reconstruct_batch_64x64", |bch| {
@@ -179,15 +185,79 @@ fn bench_ae_to_e(c: &mut Criterion) {
                 SimBuilder::new(n)
                     .seed(7)
                     .build(
-                        |p, _| {
-                            AeToEProcess::new(cfg.clone(), (p.index() < 2 * n / 3).then_some(5))
-                        },
+                        |p, _| AeToEProcess::new(cfg.clone(), (p.index() < 2 * n / 3).then_some(5)),
                         NullAdversary,
                     )
                     .run(rounds + 1)
             })
         });
     }
+    g.finish();
+}
+
+/// The ba-net event queue: batched same-instant drains vs. one pop per
+/// event, on the two arrival shapes the transport produces — a
+/// synchronous round burst (every message due at one tick) and a
+/// jittery-link spread (arrivals scattered over the round window).
+fn bench_event_queue(c: &mut Criterion) {
+    use ba_net::EventQueue;
+
+    let mut g = c.benchmark_group("event_queue");
+    let n = 4096u64;
+
+    // One round burst: everything lands on the same arrival tick.
+    g.bench_function("burst_drain_due", |bch| {
+        bch.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.push(1_000, i, i);
+            }
+            let mut acc = 0u64;
+            q.drain_due(1_000, &mut |_, v| acc += v);
+            acc
+        })
+    });
+    g.bench_function("burst_pop_due", |bch| {
+        bch.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.push(1_000, i, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop_due(1_000) {
+                acc += v;
+            }
+            acc
+        })
+    });
+
+    // Jittery links: arrivals spread over the round window (pseudo-random
+    // but fixed, so both sides drain the identical multiset).
+    let jitter: Vec<u64> = (0..n).map(|i| (i * 2_654_435_761) % 1_800).collect();
+    g.bench_function("jitter_drain_due", |bch| {
+        bch.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &d) in jitter.iter().enumerate() {
+                q.push(1_000 + d, i as u64, i as u64);
+            }
+            let mut acc = 0u64;
+            q.drain_due(3_000, &mut |_, v| acc += v);
+            acc
+        })
+    });
+    g.bench_function("jitter_pop_due", |bch| {
+        bch.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &d) in jitter.iter().enumerate() {
+                q.push(1_000 + d, i as u64, i as u64);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop_due(3_000) {
+                acc += v;
+            }
+            acc
+        })
+    });
     g.finish();
 }
 
@@ -200,6 +270,7 @@ criterion_group!(
     bench_sampler,
     bench_election,
     bench_committee,
-    bench_ae_to_e
+    bench_ae_to_e,
+    bench_event_queue
 );
 criterion_main!(benches);

@@ -5,12 +5,11 @@
 //! adaptive adversary, which can simply wait until a small set is elected
 //! and then take over all processors in that set." We build that strawman
 //! — a committee-election protocol where the elected processors' inputs
-//! decide — and race it against King–Saia under the same WinnerHunter
-//! adversary.
+//! decide — and race it against King–Saia (as [`ba_exp::RunSpec`]
+//! tournament runs) under the same WinnerHunter adversary.
 
-use ba_bench::{f3, mean, par_trials, Table};
-use ba_core::attacks::{CustodyBuster, WinnerHunter};
-use ba_core::tournament::{self, NoTreeAdversary, TournamentConfig, TreeAdversary};
+use ba_core::TournamentConfig;
+use ba_exp::{f3, AdversarySpec, Experiment, InputPattern, RunSpec, TreeAttack};
 use ba_sim::derive_rng;
 use rand::seq::SliceRandom;
 
@@ -41,85 +40,83 @@ fn strawman(n: usize, seed: u64, budget: usize, inputs: &[bool]) -> (bool, bool)
             }
         }
     }
-    let final_corrupt = delegates.iter().filter(|&&d| corrupt[d]).count();
     // Corrupt delegates vote the minority bit of the good population.
     let good_ones = (0..n).filter(|&i| !corrupt[i] && inputs[i]).count();
     let good_total = (0..n).filter(|&i| !corrupt[i]).count().max(1);
     let good_majority = 2 * good_ones >= good_total;
-    // Corrupt delegates vote against the good majority, so only good
-    // matching votes count toward it.
     let votes_for_majority = delegates
         .iter()
         .filter(|&&d| !corrupt[d] && inputs[d] == good_majority)
         .count();
     let decided = votes_for_majority * 2 > delegates.len();
-    let decided_bit = if decided { good_majority } else { !good_majority };
+    let decided_bit = if decided {
+        good_majority
+    } else {
+        !good_majority
+    };
     let valid = (0..n).any(|i| !corrupt[i] && inputs[i] == decided_bit);
-    let _ = final_corrupt;
     (decided_bit == good_majority, valid)
 }
 
 fn main() {
     let n = 256;
     let trials = 10u64;
-    println!("E12: adaptive takeover — elect-processors strawman vs King–Saia arrays, n = {n}\n");
+    let mut e = Experiment::new(
+        "E12",
+        &format!("adaptive takeover — elect-processors strawman vs King–Saia arrays, n = {n}"),
+    );
 
     // All good processors hold `true`; an execution "resists" when the
     // decision matches.
     let inputs: Vec<bool> = vec![true; n];
     let budget = TournamentConfig::for_n(n).params.corruption_budget();
 
-    let table = Table::header(&["protocol", "resist%", "valid%"]);
+    e.section(
+        "E12: takeover resistance",
+        &["protocol", "resist%", "valid%"],
+    );
 
-    let straw: Vec<(bool, bool)> =
-        par_trials(trials, |seed| strawman(n, seed, budget, &inputs));
-    table.row(&[
-        "strawman-elect".to_string(),
-        format!(
-            "{:.0}",
-            100.0 * straw.iter().filter(|r| r.0).count() as f64 / trials as f64
-        ),
-        format!(
-            "{:.0}",
-            100.0 * straw.iter().filter(|r| r.1).count() as f64 / trials as f64
-        ),
-    ]);
+    let straw = e.collect(trials, |seed| strawman(n, seed, budget, &inputs));
+    let resist = 100.0 * straw.iter().filter(|r| r.0).count() as f64 / straw.len() as f64;
+    let valid = 100.0 * straw.iter().filter(|r| r.1).count() as f64 / straw.len() as f64;
+    e.case_cells(
+        &["strawman-elect".to_string()],
+        &[format!("{resist:.0}"), format!("{valid:.0}")],
+        &[resist, valid],
+    );
 
-    for (name, mk) in [
-        (
-            "ks-winnerhunt",
-            Box::new(|| Box::new(WinnerHunter) as Box<dyn TreeAdversary>)
-                as Box<dyn Fn() -> Box<dyn TreeAdversary> + Sync>,
-        ),
+    for (name, tree) in [
+        ("ks-winnerhunt", TreeAttack::WinnerHunter),
         (
             "ks-custody",
-            Box::new(|| Box::new(CustodyBuster::all_in()) as Box<dyn TreeAdversary>),
+            TreeAttack::CustodyBuster {
+                aggressiveness: 1.0,
+            },
         ),
-        ("ks-clean", Box::new(|| Box::new(NoTreeAdversary) as Box<dyn TreeAdversary>)),
+        ("ks-clean", TreeAttack::None),
     ] {
-        let res: Vec<(bool, bool, f64)> = par_trials(trials, |seed| {
-            let config = TournamentConfig::for_n(n).with_seed(seed);
-            let mut adv = mk();
-            let out = tournament::run(&config, &inputs, &mut adv);
-            (out.decided, out.valid, out.agreement_fraction)
-        });
-        table.row(&[
-            name.to_string(),
-            format!(
-                "{:.0}",
-                100.0 * res.iter().filter(|r| r.0).count() as f64 / trials as f64
-            ),
-            format!(
-                "{:.0}",
-                100.0 * res.iter().filter(|r| r.1).count() as f64 / trials as f64
-            ),
-        ]);
-        let agr = mean(&res.iter().map(|r| r.2).collect::<Vec<_>>());
-        println!("    ({name}: mean agreement {})", f3(agr));
+        let report = e.run(
+            &RunSpec::tournament(n)
+                .trials(trials)
+                .input(InputPattern::UnanimousTrue)
+                .adversary(AdversarySpec::none().with_tree(tree)),
+        );
+        let resist = 100.0 * report.frac_of(|t| t.decided_bit == Some(true));
+        let valid = 100.0 * report.frac_of(|t| t.valid.unwrap_or(false));
+        e.case_cells(
+            &[name.to_string()],
+            &[format!("{resist:.0}"), format!("{valid:.0}")],
+            &[resist, valid],
+        );
+        e.note(&format!(
+            "    ({name}: mean agreement {})",
+            f3(report.mean_of(|t| t.agreement))
+        ));
     }
 
-    println!("\npaper claim (§1.3): waiting for the elected set and seizing it kills");
-    println!("processor elections (the strawman's final committee fits inside the");
-    println!("adversary budget), while elected *arrays* of pre-dealt secrets are");
-    println!("worthless to corrupt after the fact.");
+    e.note("\npaper claim (§1.3): waiting for the elected set and seizing it kills");
+    e.note("processor elections (the strawman's final committee fits inside the");
+    e.note("adversary budget), while elected *arrays* of pre-dealt secrets are");
+    e.note("worthless to corrupt after the fact.");
+    e.finish();
 }

@@ -3,88 +3,66 @@
 //! The tournament must leave at least a `1 − 1/log n` fraction of good
 //! processors agreeing on one bit, for corruption fractions up to
 //! `1/3 − ε`, under the static spread adversary. We sweep n and the
-//! corruption fraction.
+//! corruption fraction — each cell one [`ba_exp::RunSpec`].
 
-use ba_bench::{f3, mean, par_trials, Table};
 use ba_core::aeba::CommitteeAttack;
-use ba_core::attacks::StaticThird;
-use ba_core::tournament::{self, NoTreeAdversary, TournamentConfig, TreeAdversary, TreeView, PhaseKind};
+use ba_exp::{f3, AdversarySpec, Experiment, RunSpec, TreeAttack};
 
-/// Static adversary corrupting an exact fraction at the deal.
-struct Fraction {
-    frac: f64,
-}
-
-impl TreeAdversary for Fraction {
-    fn corrupt(&mut self, phase: PhaseKind, view: &TreeView<'_>) -> Vec<usize> {
-        if phase == PhaseKind::Deal {
-            let n = view.corrupt.len();
-            let k = ((n as f64) * self.frac) as usize;
-            (0..k).map(|i| (i * 7 + 3) % n).collect()
-        } else {
-            Vec::new()
-        }
-    }
-
-    fn committee_attack(&self) -> CommitteeAttack {
-        CommitteeAttack::Oppose
-    }
+fn tournament(n: usize, tree: TreeAttack) -> RunSpec {
+    RunSpec::tournament(n)
+        .trials(6)
+        .adversary(AdversarySpec::none().with_tree(tree))
 }
 
 fn main() {
-    let trials = 6u64;
+    let mut e = Experiment::new("E3", "almost-everywhere agreement quality (Theorem 2)");
+    let oppose = CommitteeAttack::Oppose;
 
-    println!("E3a: good-processor agreement fraction vs n (budget-level static adversary)\n");
-    let table = Table::header(&["n", "agreement", "target", "valid%", "clean_agr"]);
+    e.section(
+        "E3a: good-processor agreement fraction vs n (budget-level static adversary)",
+        &["n", "agreement", "target", "valid%", "clean_agr"],
+    );
     for n in [64usize, 128, 256, 512, 1024] {
-        let adv: Vec<(f64, bool)> = par_trials(trials, |seed| {
-            let config = TournamentConfig::for_n(n).with_seed(seed);
-            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-            let out = tournament::run(
-                &config,
-                &inputs,
-                &mut StaticThird {
-                    attack: CommitteeAttack::Oppose,
-                },
-            );
-            (out.agreement_fraction, out.valid)
-        });
-        let clean: Vec<f64> = par_trials(trials, |seed| {
-            let config = TournamentConfig::for_n(n).with_seed(seed + 1000);
-            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-            tournament::run(&config, &inputs, &mut NoTreeAdversary).agreement_fraction
-        });
+        let adv = e.run(&tournament(n, TreeAttack::StaticThird { attack: oppose }));
+        let clean = e.run(&tournament(n, TreeAttack::None).seeds(1000));
         let target = 1.0 - 1.0 / (n as f64).log2();
-        table.row(&[
-            n.to_string(),
-            f3(mean(&adv.iter().map(|a| a.0).collect::<Vec<_>>())),
-            f3(target),
-            format!(
-                "{:.0}",
-                100.0 * adv.iter().filter(|a| a.1).count() as f64 / trials as f64
-            ),
-            f3(mean(&clean)),
-        ]);
+        let agreement = adv.mean_of(|t| t.agreement);
+        let valid = 100.0 * adv.frac_of(|t| t.valid.unwrap_or(false));
+        let clean_agr = clean.mean_of(|t| t.agreement);
+        e.case_cells(
+            &[n.to_string()],
+            &[
+                f3(agreement),
+                f3(target),
+                format!("{valid:.0}"),
+                f3(clean_agr),
+            ],
+            &[agreement, target, valid, clean_agr],
+        );
     }
 
-    println!("\nE3b: agreement vs corruption fraction at n = 256\n");
-    let table = Table::header(&["corrupt%", "agreement", "valid%"]);
-    let n = 256;
+    e.section(
+        "E3b: agreement vs corruption fraction at n = 256",
+        &["corrupt%", "agreement", "valid%"],
+    );
     for frac in [0.0, 0.05, 0.10, 0.15, 0.20, 0.23] {
-        let res: Vec<(f64, bool)> = par_trials(trials, |seed| {
-            let config = TournamentConfig::for_n(n).with_seed(seed);
-            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-            let out = tournament::run(&config, &inputs, &mut Fraction { frac });
-            (out.agreement_fraction, out.valid)
-        });
-        table.row(&[
-            format!("{:.0}", frac * 100.0),
-            f3(mean(&res.iter().map(|a| a.0).collect::<Vec<_>>())),
-            format!(
-                "{:.0}",
-                100.0 * res.iter().filter(|a| a.1).count() as f64 / trials as f64
-            ),
-        ]);
+        let report = e.run(&tournament(
+            256,
+            TreeAttack::StaticFraction {
+                frac,
+                attack: oppose,
+            },
+        ));
+        let agreement = report.mean_of(|t| t.agreement);
+        let valid = 100.0 * report.frac_of(|t| t.valid.unwrap_or(false));
+        e.case_cells(
+            &[format!("{:.0}", frac * 100.0)],
+            &[f3(agreement), format!("{valid:.0}")],
+            &[agreement, valid],
+        );
     }
-    println!("\npaper claim: agreement ≥ 1 − 1/log n of good processors w.h.p. up to (1/3 − ε)n corruption");
+    e.note(
+        "\npaper claim: agreement ≥ 1 − 1/log n of good processors w.h.p. up to (1/3 − ε)n corruption",
+    );
+    e.finish();
 }

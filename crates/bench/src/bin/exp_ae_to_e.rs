@@ -1,106 +1,113 @@
 //! E7 (Lemmas 7–10): the almost-everywhere → everywhere protocol.
 //!
-//! Measures, per n: the fraction of loops in which a single loop already
-//! produces full agreement (Lemma 7: probability ≥ 1 − 4/(ε log n)); the
-//! number of loops until every good processor decided; wrong decisions
-//! (Lemma 7(2): none, w.h.p.); bits per processor (Õ(√n)); and the
-//! overload behaviour under the flooding adversary (Lemma 9).
+//! Measures, per n: the agreed fraction after `X = Θ(log n)` loops,
+//! wrong decisions (Lemma 7(2): none, w.h.p.), bits per processor
+//! (`Õ(√n)`), and the overload behaviour under the flooding adversary
+//! (Lemma 9) — every cell a preset over [`ba_exp::RunSpec`].
 
-use ba_bench::{f3, loglog_slope, mean, par_trials, Table};
-use ba_core::ae_to_e::{AeToEConfig, AeToEOutcome, AeToEProcess};
-use ba_core::attacks::Overloader;
-use ba_sim::{NullAdversary, ProcId, SimBuilder};
+use ba_exp::{
+    f3, loglog_slope, AdversarySpec, AeToESpec, Experiment, Knowledgeable, MessageAdversary,
+    Protocol, RunReport, RunSpec,
+};
 
 const M: u64 = 0xABCD;
 
-struct LoopResult {
-    agreed_frac: f64,
-    wrong: usize,
-    max_bits: u64,
+fn spec(n: usize, knowledgeable: f64, flood: bool) -> RunSpec {
+    let ae = AeToESpec {
+        knowledgeable: Knowledgeable::Fraction(knowledgeable),
+        message: M,
+        flood_cap: flood.then_some(4_000_000),
+        ..AeToESpec::default()
+    };
+    let adversary = if flood {
+        AdversarySpec::none().with_message(MessageAdversary::Overload {
+            count: n / 5,
+            copies: 500,
+        })
+    } else {
+        AdversarySpec::none().with_budget(n / 5)
+    };
+    RunSpec::new(Protocol::AeToE(ae), n)
+        .trials(5)
+        .adversary(adversary)
 }
 
-fn run(n: usize, seed: u64, knowledgeable: f64, flood: bool) -> LoopResult {
-    let cfg = AeToEConfig::for_n(n, 0.1);
-    let rounds = cfg.total_rounds();
-    let cutoff = ((n as f64) * knowledgeable) as usize;
-    let builder = SimBuilder::new(n).seed(seed).max_corruptions(n / 5);
-    let outcome = if flood {
-        builder
-            .flood_cap(4_000_000)
-            .build(
-                |p, _| AeToEProcess::new(cfg.clone(), (p.index() < cutoff).then_some(M)),
-                Overloader {
-                    count: n / 5,
-                    labels: cfg.labels,
-                    copies: 500,
-                },
-            )
-            .run(rounds + 1)
-    } else {
-        builder
-            .build(
-                |p, _| AeToEProcess::new(cfg.clone(), (p.index() < cutoff).then_some(M)),
-                NullAdversary,
-            )
-            .run(rounds + 1)
-    };
-    let tally = AeToEOutcome::from_outputs(&outcome.outputs, &outcome.corrupt, M);
-    let good = outcome.good_count().max(1);
-    LoopResult {
-        agreed_frac: tally.agreed as f64 / good as f64,
-        wrong: tally.wrong,
-        max_bits: (0..n)
-            .filter(|&i| !outcome.corrupt[i])
-            .map(|i| outcome.metrics.bits_sent_by(ProcId::new(i)))
-            .max()
-            .unwrap_or(0),
-    }
+/// Fraction of live good processors that decided the true message.
+fn agreed_frac(report: &RunReport) -> f64 {
+    report.mean_of(|t| {
+        let good = t.corrupt.iter().filter(|&&c| !c).count().max(1);
+        t.decided - t.wrong as f64 / good as f64
+    })
+}
+
+fn wrong_sum(report: &RunReport) -> f64 {
+    report.trials.iter().map(|t| t.wrong as f64).sum()
 }
 
 fn main() {
-    let trials = 5u64;
-    println!("E7a: spread quality and bits vs n (60% knowledgeable, X = Θ(log n) loops)\n");
-    let table = Table::header(&["n", "agreed", "wrong", "max_bits", "bits/sqrt(n)"]);
+    let mut e = Experiment::new("E7", "almost-everywhere → everywhere (Algorithm 3)");
+
+    e.section(
+        "E7a: spread quality and bits vs n (60% knowledgeable, X = Θ(log n) loops)",
+        &["n", "agreed", "wrong", "max_bits", "bits/sqrt(n)"],
+    );
     let mut xs = Vec::new();
     let mut bits = Vec::new();
     for n in [64usize, 144, 256, 576, 1024] {
-        let res: Vec<LoopResult> = par_trials(trials, |seed| run(n, seed, 0.60, false));
-        let max_bits = mean(&res.iter().map(|r| r.max_bits as f64).collect::<Vec<_>>());
-        table.row(&[
-            n.to_string(),
-            f3(mean(&res.iter().map(|r| r.agreed_frac).collect::<Vec<_>>())),
-            res.iter().map(|r| r.wrong).sum::<usize>().to_string(),
-            format!("{max_bits:.0}"),
-            format!("{:.0}", max_bits / (n as f64).sqrt()),
-        ]);
+        let report = e.run(&spec(n, 0.60, false));
+        let agreed = agreed_frac(&report);
+        let wrong = wrong_sum(&report);
+        let max_bits = report.mean_of(|t| t.bits.max as f64);
+        e.case_cells(
+            &[n.to_string()],
+            &[
+                f3(agreed),
+                format!("{wrong:.0}"),
+                format!("{max_bits:.0}"),
+                format!("{:.0}", max_bits / (n as f64).sqrt()),
+            ],
+            &[agreed, wrong, max_bits, max_bits / (n as f64).sqrt()],
+        );
         xs.push(n as f64);
         bits.push(max_bits);
     }
     let slope = loglog_slope(&xs, &bits);
-    println!("\nlog-log slope of max bits/processor: {} (paper: 0.5 + o(1))", f3(slope));
+    e.note(&format!(
+        "\nlog-log slope of max bits/processor: {} (paper: 0.5 + o(1))",
+        f3(slope)
+    ));
 
-    println!("\nE7b: agreement vs knowledgeable fraction at n = 256\n");
-    let table = Table::header(&["knowl%", "agreed", "wrong"]);
+    e.section(
+        "E7b: agreement vs knowledgeable fraction at n = 256",
+        &["knowl%", "agreed", "wrong"],
+    );
     for kf in [0.40, 0.51, 0.55, 0.60, 0.70, 0.90] {
-        let res: Vec<LoopResult> = par_trials(trials, |seed| run(256, seed, kf, false));
-        table.row(&[
-            format!("{:.0}", kf * 100.0),
-            f3(mean(&res.iter().map(|r| r.agreed_frac).collect::<Vec<_>>())),
-            res.iter().map(|r| r.wrong).sum::<usize>().to_string(),
-        ]);
+        let report = e.run(&spec(256, kf, false));
+        let agreed = agreed_frac(&report);
+        let wrong = wrong_sum(&report);
+        e.case_cells(
+            &[format!("{:.0}", kf * 100.0)],
+            &[f3(agreed), format!("{wrong:.0}")],
+            &[agreed, wrong],
+        );
     }
 
-    println!("\nE7c: flooding adversary (Lemma 9 overload bound) at n = 256\n");
-    let table = Table::header(&["attack", "agreed", "wrong"]);
+    e.section(
+        "E7c: flooding adversary (Lemma 9 overload bound) at n = 256",
+        &["attack", "agreed", "wrong"],
+    );
     for (name, flood) in [("none", false), ("overloader", true)] {
-        let res: Vec<LoopResult> = par_trials(trials, |seed| run(256, seed, 0.60, flood));
-        table.row(&[
-            name.to_string(),
-            f3(mean(&res.iter().map(|r| r.agreed_frac).collect::<Vec<_>>())),
-            res.iter().map(|r| r.wrong).sum::<usize>().to_string(),
-        ]);
+        let report = e.run(&spec(256, 0.60, flood));
+        let agreed = agreed_frac(&report);
+        let wrong = wrong_sum(&report);
+        e.case_cells(
+            &[name.to_string()],
+            &[f3(agreed), format!("{wrong:.0}")],
+            &[agreed, wrong],
+        );
     }
-    println!("\npaper claims: everyone decides M (no wrong decisions) after Θ(log n) loops");
-    println!("above a 1/2 + ε knowledgeable majority; Õ(√n) bits per processor; flooding");
-    println!("overloads at most n/4 knowledgeable responders per loop (Lemma 9).");
+    e.note("\npaper claims: everyone decides M (no wrong decisions) after Θ(log n) loops");
+    e.note("above a 1/2 + ε knowledgeable majority; Õ(√n) bits per processor; flooding");
+    e.note("overloads at most n/4 knowledgeable responders per loop (Lemma 9).");
+    e.finish();
 }

@@ -1,91 +1,74 @@
 //! E4 (Theorem 3/5, Lemmas 11–13): AEBA with unreliable global coins.
 //!
-//! Three sweeps on the message-level Algorithm 5:
+//! Three sweeps on the message-level Algorithm 5, as presets over
+//! [`ba_exp::RunSpec`]:
 //!  (a) agreement fraction per round (convergence trace),
 //!  (b) final agreement vs coin success rate (Theorem 3's `1/2^t` term),
 //!  (c) final agreement vs corrupt fraction, including past the 1/3
 //!      bound where the guarantee must (and does) die.
 
-use ba_bench::{f3, mean, par_trials, Table};
-use ba_core::aeba::{AebaConfig, AebaProcess, UnreliableCoin};
-use ba_core::attacks::SplitVoter;
-use ba_sampler::RegularGraph;
-use ba_sim::{derive_rng, NullAdversary, SimBuilder};
-use std::sync::Arc;
+use ba_exp::{AdversarySpec, AebaSpec, Experiment, GossipDegree, Metric, Protocol, RunSpec};
 
-fn graph(n: usize, seed: u64) -> Arc<RegularGraph> {
-    // The sparse Theorem-5 regime: k·log n gossip edges (not the √n
-    // regime the tournament root uses) — the dynamics are visible here.
-    let mut rng = derive_rng(seed, 0x95A);
-    let degree = (5.0 * (n as f64).log2()).ceil() as usize;
-    Arc::new(RegularGraph::random_out_degree(n, degree.min(n - 1), &mut rng))
-}
-
-fn run_once(
-    n: usize,
-    seed: u64,
-    success_rate: f64,
-    corrupt: usize,
-    rounds: usize,
-) -> f64 {
-    let g = graph(n, seed);
-    let coin = Arc::new(UnreliableCoin::generate(rounds, success_rate, 0.02, seed ^ 0xC0));
-    let cfg = AebaConfig {
+/// The sparse Theorem-5 regime (`5·log₂ n` gossip edges, not the √n
+/// regime the tournament root uses), split inputs, adversarially split
+/// failed coins — the worst case Theorem 3 prices in.
+fn spec(n: usize, rounds: usize, coin_success: f64, corrupt: usize) -> RunSpec {
+    let aeba = AebaSpec {
         rounds,
-        ..AebaConfig::default()
+        coin_success,
+        degree: GossipDegree::LogTimes(5.0),
+        split_failed_coins: true,
+        ..AebaSpec::default()
     };
-    let sim = SimBuilder::new(n).seed(seed).max_corruptions(corrupt);
-    // Failed coin rounds hand each processor an *adversarially split* bit
-    // (parity), the worst case Theorem 3 prices in — a common wrong bit
-    // would accidentally act as a successful coin.
-    let mk = |p: ba_sim::ProcId, _n: usize| {
-        AebaProcess::new(
-            p,
-            p.index().is_multiple_of(2),
-            g.clone(),
-            coin.clone(),
-            cfg.clone(),
-            p.index() % 2 == 1,
-        )
-    };
-    let outcome = if corrupt == 0 {
-        sim.build(mk, NullAdversary).run(rounds + 2)
-    } else {
-        sim.build(mk, SplitVoter { count: corrupt }).run(rounds + 2)
-    };
-    outcome.good_agreement_fraction()
+    let mut s = RunSpec::new(Protocol::Aeba(aeba), n).trials(6);
+    if corrupt > 0 {
+        s = s.adversary(AdversarySpec::split(corrupt));
+    }
+    s
 }
 
 fn main() {
     let n = 256;
-    let trials = 6u64;
+    let mut e = Experiment::new("E4", "AEBA convergence with unreliable global coins");
 
-    println!("E4a: convergence trace at n = {n} (split inputs, 20% corrupt, 80% good coins)\n");
-    let table = Table::header(&["round", "agreement"]);
+    e.section(
+        &format!("E4a: convergence trace at n = {n} (split inputs, 20% corrupt, 80% good coins)"),
+        &["round", "agreement"],
+    );
     // Trace by running to increasing horizons (deterministic seeds make
     // prefixes consistent).
     for rounds in [1usize, 3, 6, 10, 15, 20, 30] {
-        let agr = mean(&par_trials(trials, |seed| {
-            run_once(n, seed, 0.8, n / 5, rounds)
-        }));
-        table.row(&[rounds.to_string(), f3(agr)]);
+        e.case(
+            &[rounds.to_string()],
+            &spec(n, rounds, 0.8, n / 5),
+            &[Metric::Agreement],
+        );
     }
 
-    println!("\nE4b: final agreement vs coin success rate (30 rounds, 20% corrupt)\n");
-    let table = Table::header(&["success", "agreement"]);
+    e.section(
+        "E4b: final agreement vs coin success rate (30 rounds, 20% corrupt)",
+        &["success", "agreement"],
+    );
     for rate in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
-        let agr = mean(&par_trials(trials, |seed| run_once(n, seed, rate, n / 5, 30)));
-        table.row(&[f3(rate), f3(agr)]);
+        e.case(
+            &[ba_exp::f3(rate)],
+            &spec(n, 30, rate, n / 5),
+            &[Metric::Agreement],
+        );
     }
 
-    println!("\nE4c: final agreement vs corrupt fraction (30 rounds, 80% good coins)\n");
-    let table = Table::header(&["corrupt%", "agreement"]);
+    e.section(
+        "E4c: final agreement vs corrupt fraction (30 rounds, 80% good coins)",
+        &["corrupt%", "agreement"],
+    );
     for pct in [0usize, 10, 20, 25, 30, 36, 45] {
-        let agr = mean(&par_trials(trials, |seed| {
-            run_once(n, seed, 0.8, n * pct / 100, 30)
-        }));
-        table.row(&[pct.to_string(), f3(agr)]);
+        e.case(
+            &[pct.to_string()],
+            &spec(n, 30, 0.8, n * pct / 100),
+            &[Metric::Agreement],
+        );
     }
-    println!("\npaper claim: all but O(n/log n) good processors agree given enough successful");
-    println!("coin rounds; the guarantee must degrade beyond the 1/3 corruption bound.");
+    e.note("\npaper claim: all but O(n/log n) good processors agree given enough successful");
+    e.note("coin rounds; the guarantee must degrade beyond the 1/3 corruption bound.");
+    e.finish();
 }

@@ -9,56 +9,32 @@
 //! `Õ(√n)` workhorse whose empirical slope this experiment checks, and
 //! the crossover discussion lives in EXPERIMENTS.md.
 
-use ba_baselines::{
-    BenOrConfig, BenOrProcess, PhaseKingConfig, PhaseKingProcess, RabinConfig, RabinProcess,
-};
-use ba_bench::{f3, loglog_slope, mean, par_trials, Table};
-use ba_core::everywhere::{self, EverywhereConfig};
-use ba_core::tournament::NoTreeAdversary;
-use ba_sim::{NullAdversary, ProcId, SimBuilder};
+use ba_baselines::PhaseKingConfig;
+use ba_exp::{f3, loglog_slope, Experiment, Metric, RunSpec};
 
 fn main() {
     let sizes = [64usize, 128, 256, 512, 1024];
     let trials = 3u64;
+    let mut e = Experiment::new(
+        "E1",
+        &format!("bits per processor vs n (mean over {trials} seeds, max over good processors)"),
+    );
 
-    println!("E1: bits per processor vs n (mean over {trials} seeds, max over good processors)\n");
-    let table = Table::header(&[
-        "n",
-        "ks_total",
-        "ks_ae2e",
-        "phase_king",
-        "ben_or",
-        "rabin",
-    ]);
-
+    e.section(
+        "E1: everywhere stack vs baselines",
+        &["n", "ks_total", "ks_ae2e", "phase_king", "ben_or", "rabin"],
+    );
     let mut xs = Vec::new();
     let mut ks_ae2e_series = Vec::new();
     let mut pk_series = Vec::new();
 
     for &n in &sizes {
-        let ks: Vec<(f64, f64)> = par_trials(trials, |seed| {
-            let config = EverywhereConfig::for_n(n).with_seed(seed);
-            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-            let out = everywhere::run(&config, &inputs, &mut NoTreeAdversary, NullAdversary);
-            let total = out.good_bit_stats().max as f64;
-            let tournament = out.tournament.good_bit_stats().max as f64;
-            (total, total - tournament)
-        });
-        let ks_total = mean(&ks.iter().map(|x| x.0).collect::<Vec<_>>());
-        let ks_ae2e = mean(&ks.iter().map(|x| x.1).collect::<Vec<_>>());
+        let ks = e.run(&RunSpec::everywhere(n).trials(trials));
+        let ks_total = Metric::BitsMax.eval(&ks);
+        let ks_ae2e = Metric::AeBitsMax.eval(&ks);
 
         let pk = if n <= 512 {
-            mean(&par_trials(trials, |seed| {
-                let cfg = PhaseKingConfig::for_n(n);
-                let out = SimBuilder::new(n)
-                    .seed(seed)
-                    .build(|p, _| PhaseKingProcess::new(cfg, p.index() % 2 == 0), NullAdversary)
-                    .run(cfg.total_rounds() + 2);
-                (0..n)
-                    .map(|i| out.metrics.bits_sent_by(ProcId::new(i)))
-                    .max()
-                    .unwrap_or(0) as f64
-            }))
+            Metric::BitsMax.eval(&e.run(&RunSpec::phase_king(n).trials(trials)))
         } else {
             // Deterministic protocol: 2 bits to n peers per round for
             // 2(t+1) rounds; measured at smaller n, extrapolated here to
@@ -66,51 +42,42 @@ fn main() {
             let cfg = PhaseKingConfig::for_n(n);
             (n as f64) * (cfg.total_rounds() as f64 + 1.0)
         };
+        let bo = Metric::BitsMax.eval(&e.run(&RunSpec::ben_or(n).trials(trials)));
+        let rb = Metric::BitsMax.eval(&e.run(&RunSpec::rabin(n).trials(trials)));
 
-        let bo = mean(&par_trials(trials, |seed| {
-            let cfg = BenOrConfig::for_n(n);
-            let out = SimBuilder::new(n)
-                .seed(seed)
-                .build(|p, _| BenOrProcess::new(cfg, p.index() % 2 == 0), NullAdversary)
-                .run(cfg.total_rounds() + 2);
-            (0..n)
-                .map(|i| out.metrics.bits_sent_by(ProcId::new(i)))
-                .max()
-                .unwrap_or(0) as f64
-        }));
-
-        let rb = mean(&par_trials(trials, |seed| {
-            let cfg = RabinConfig::for_n(n);
-            let out = SimBuilder::new(n)
-                .seed(seed)
-                .build(|p, _| RabinProcess::new(cfg, p.index() % 2 == 0), NullAdversary)
-                .run(cfg.total_rounds() + 2);
-            (0..n)
-                .map(|i| out.metrics.bits_sent_by(ProcId::new(i)))
-                .max()
-                .unwrap_or(0) as f64
-        }));
-
-        table.row(&[
-            n.to_string(),
-            format!("{ks_total:.0}"),
-            format!("{ks_ae2e:.0}"),
-            format!("{pk:.0}"),
-            format!("{bo:.0}"),
-            format!("{rb:.0}"),
-        ]);
+        e.case_cells(
+            &[n.to_string()],
+            &[
+                format!("{ks_total:.0}"),
+                format!("{ks_ae2e:.0}"),
+                format!("{pk:.0}"),
+                format!("{bo:.0}"),
+                format!("{rb:.0}"),
+            ],
+            &[ks_total, ks_ae2e, pk, bo, rb],
+        );
         xs.push(n as f64);
         ks_ae2e_series.push(ks_ae2e);
         pk_series.push(pk);
     }
 
-    println!();
     let ks_slope = loglog_slope(&xs, &ks_ae2e_series);
     let pk_slope = loglog_slope(&xs, &pk_series);
-    println!("log-log slope, King–Saia ae→e phase : {} (paper: 0.5 + o(1))", f3(ks_slope));
-    println!("log-log slope, Phase King           : {} (Θ(n²) per processor)", f3(pk_slope));
-    println!(
+    e.note(&format!(
+        "\nlog-log slope, King–Saia ae→e phase : {} (paper: 0.5 + o(1))",
+        f3(ks_slope)
+    ));
+    e.note(&format!(
+        "log-log slope, Phase King           : {} (Θ(n²) per processor)",
+        f3(pk_slope)
+    ));
+    e.note(&format!(
         "\nshape check: ae→e slope < 1 < phase-king slope → {}",
-        if ks_slope < 1.0 && pk_slope > 1.5 { "REPRODUCED" } else { "NOT reproduced" }
-    );
+        if ks_slope < 1.0 && pk_slope > 1.5 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
+    ));
+    e.finish();
 }

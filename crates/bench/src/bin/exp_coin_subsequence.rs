@@ -1,65 +1,77 @@
 //! E11 (§3.5, Theorem 2): the global coin subsequence solves (s, 2s/3).
 //!
-//! Measures, across adversaries: the fraction of output words that are
-//! genuine uniform secrets (target ≥ 2/3), uniformity of the genuine
-//! words (χ² over bytes), and the per-word bit/time overhead the theorem
-//! prices at Õ(n^{4/δ}) bits and O(log n/log log n) time.
+//! Measures, across tree adversaries (one [`ba_exp::RunSpec`] each): the
+//! fraction of output words that are genuine uniform secrets (target
+//! ≥ 2/3), uniformity of the genuine words (χ² over buckets), and the
+//! subsequence length's growth with n.
 
-use ba_bench::{f3, mean, par_trials, Table};
 use ba_core::aeba::CommitteeAttack;
-use ba_core::attacks::{CustodyBuster, StaticThird, WinnerHunter};
-use ba_core::coin::CoinSequence;
-use ba_core::tournament::{self, NoTreeAdversary, TournamentConfig, TreeAdversary};
+use ba_exp::{f3, AdversarySpec, Experiment, Metric, RunSpec, TreeAttack};
 
-/// A boxed adversary factory (object-safe, thread-shareable).
-type AdvFactory = Box<dyn Fn() -> Box<dyn TreeAdversary> + Sync>;
-
-fn run_with(n: usize, seed: u64, mk: impl Fn() -> Box<dyn TreeAdversary>) -> CoinSequence {
-    let config = TournamentConfig::for_n(n).with_seed(seed);
-    let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-    let mut adv = mk();
-    CoinSequence::from_tournament(&tournament::run(&config, &inputs, &mut adv))
+fn spec(n: usize, trials: u64, tree: TreeAttack) -> RunSpec {
+    RunSpec::tournament(n)
+        .trials(trials)
+        .adversary(AdversarySpec::none().with_tree(tree))
 }
 
 fn main() {
     let n = 256;
     let trials = 6u64;
-    println!("E11a: good-word fraction of the coin subsequence, n = {n} ({trials} seeds)\n");
-    let table = Table::header(&["adversary", "s", "good_frac", "(s,2s/3)?"]);
-    let cases: Vec<(&str, AdvFactory)> = vec![
-        ("none", Box::new(|| Box::new(NoTreeAdversary))),
+    let mut e = Experiment::new(
+        "E11",
+        &format!("global coin subsequence quality, n = {n} ({trials} seeds)"),
+    );
+
+    e.section(
+        "E11a: good-word fraction of the coin subsequence",
+        &["adversary", "s", "good_frac", "satisfies"],
+    );
+    let cases: [(&str, TreeAttack); 4] = [
+        ("none", TreeAttack::None),
         (
             "static-budget",
-            Box::new(|| {
-                Box::new(StaticThird {
-                    attack: CommitteeAttack::Oppose,
-                })
-            }),
+            TreeAttack::StaticThird {
+                attack: CommitteeAttack::Oppose,
+            },
         ),
-        ("winner-hunter", Box::new(|| Box::new(WinnerHunter))),
-        ("custody-buster", Box::new(|| Box::new(CustodyBuster::all_in()))),
+        ("winner-hunter", TreeAttack::WinnerHunter),
+        (
+            "custody-buster",
+            TreeAttack::CustodyBuster {
+                aggressiveness: 1.0,
+            },
+        ),
     ];
-    for (name, mk) in &cases {
-        let seqs: Vec<CoinSequence> = par_trials(trials, |seed| run_with(n, seed, mk));
-        let s = seqs[0].len();
-        let gf = mean(&seqs.iter().map(|c| c.good_fraction()).collect::<Vec<_>>());
-        let ok = seqs
-            .iter()
-            .filter(|c| c.satisfies(2 * c.len() / 3))
-            .count();
-        table.row(&[
-            name.to_string(),
-            s.to_string(),
-            f3(gf),
-            format!("{ok}/{trials}"),
-        ]);
+    for (name, tree) in cases {
+        let report = e.run(&spec(n, trials, tree));
+        let s = report.trials[0].coins.as_ref().map_or(0, |c| c.len());
+        let gf = Metric::CoinGoodFrac.eval(&report);
+        let ok = report.frac_of(|t| {
+            t.coins
+                .as_ref()
+                .is_some_and(|c| c.satisfies(2 * c.len() / 3))
+        });
+        e.case_cells(
+            &[name.to_string()],
+            &[
+                s.to_string(),
+                f3(gf),
+                format!(
+                    "{:.0}/{}",
+                    ok * report.trials.len() as f64,
+                    report.trials.len()
+                ),
+            ],
+            &[s as f64, gf, ok],
+        );
     }
 
-    println!("\nE11b: uniformity of genuine words (pooled over seeds, no adversary)\n");
-    let seqs: Vec<CoinSequence> = par_trials(trials * 4, |seed| run_with(n, seed, || Box::new(NoTreeAdversary) as Box<dyn TreeAdversary>));
+    // Uniformity: pooled genuine words over extra clean seeds.
+    let pooled = e.run(&spec(n, trials * 4, TreeAttack::None));
     let mut byte_counts = [0usize; 16];
     let mut total = 0usize;
-    for c in &seqs {
+    for t in &pooled.trials {
+        let Some(c) = &t.coins else { continue };
         for i in 0..c.len() {
             if c.is_good(i) == Some(true) {
                 let v = c.number(i, u16::MAX).unwrap();
@@ -76,20 +88,23 @@ fn main() {
             d * d / expect
         })
         .sum();
-    println!("pooled genuine words: {total}; χ² over 16 buckets: {:.1} (df = 15, mean 15, 99th pct ≈ 30.6)", chi2);
+    e.note(&format!(
+        "\nE11b: pooled genuine words: {total}; χ² over 16 buckets: {chi2:.1} \
+         (df = 15, mean 15, 99th pct ≈ 30.6)"
+    ));
 
-    println!("\nE11c: subsequence length vs n (s grows with the finalist count × extra words)\n");
-    let table = Table::header(&["n", "s", "good_frac"]);
+    e.section(
+        "E11c: subsequence length vs n (s grows with the finalist count × extra words)",
+        &["n", "s", "good_frac"],
+    );
     for n in [64usize, 256, 1024] {
-        let seqs: Vec<CoinSequence> =
-            par_trials(trials, |seed| run_with(n, seed, || Box::new(NoTreeAdversary) as Box<dyn TreeAdversary>));
-        table.row(&[
-            n.to_string(),
-            seqs[0].len().to_string(),
-            f3(mean(&seqs.iter().map(|c| c.good_fraction()).collect::<Vec<_>>())),
-        ]);
+        let report = e.run(&spec(n, trials, TreeAttack::None));
+        let s = report.trials[0].coins.as_ref().map_or(0, |c| c.len());
+        let gf = Metric::CoinGoodFrac.eval(&report);
+        e.case_cells(&[n.to_string()], &[s.to_string(), f3(gf)], &[s as f64, gf]);
     }
-    println!("\npaper claim (§3.5): the modified tournament solves the (s, 2s/3) global");
-    println!("coin subsequence problem — at least 2/3 of output words are uniform and");
-    println!("agreed by 1 − 1/log n of good processors.");
+    e.note("\npaper claim (§3.5): the modified tournament solves the (s, 2s/3) global");
+    e.note("coin subsequence problem — at least 2/3 of output words are uniform and");
+    e.note("agreed by 1 − 1/log n of good processors.");
+    e.finish();
 }

@@ -6,12 +6,14 @@
 //! secret (Lemma 3(2)), and the bits the reveal costs — the one place in
 //! the repository where the iterated-sharing data flow is priced by
 //! *actual messages* rather than the Lemma 5 cost model, giving a
-//! cross-check of the structured executor's accounting.
+//! cross-check of the structured executor's accounting. The bespoke
+//! reveal cell runs through the harness's trial loop
+//! ([`ba_exp::Experiment::collect`]).
 
-use ba_bench::{f3, mean, par_trials, Table};
 use ba_core::comm::{CommProcess, RevealSpec};
 use ba_crypto::Gf16;
-use ba_sim::{derive_rng, NullAdversary, ProcId, SimBuilder, StaticAdversary};
+use ba_exp::{f3, mean, Experiment};
+use ba_sim::{derive_rng, ProcId, SimBuilder, StaticAdversary};
 use ba_topology::{Params, Tree};
 use rand::seq::SliceRandom;
 use std::sync::Arc;
@@ -42,9 +44,11 @@ fn run_reveal(n: usize, open_level: usize, corrupt_frac: f64, seed: u64) -> Reve
     let out = SimBuilder::new(n)
         .seed(seed)
         .max_corruptions(k.max(1))
-        .build(|p, _| CommProcess::new(spec.clone(), p), StaticAdversary::new(targets))
+        .build(
+            |p, _| CommProcess::new(spec.clone(), p),
+            StaticAdversary::new(targets),
+        )
         .run(rounds + 2);
-    let _ = NullAdversary; // referenced for parity with other experiments
 
     let want: Vec<u16> = spec.secret.iter().map(|w| w.raw()).collect();
     let at = spec.node_at(open_level);
@@ -72,52 +76,57 @@ fn run_reveal(n: usize, open_level: usize, corrupt_frac: f64, seed: u64) -> Reve
 
 fn main() {
     let trials = 5u64;
+    let mut e = Experiment::new("E14", "the communication primitives on the wire (Lemma 3)");
 
-    println!("E14a: reveal success vs crash-corruption fraction (n = 64, open at level 2)\n");
-    let table = Table::header(&["corrupt%", "learned", "claim"]);
+    e.section(
+        "E14a: reveal success vs crash-corruption fraction (n = 64, open at level 2)",
+        &["corrupt%", "learned", "claim"],
+    );
     for frac in [0.0, 0.10, 0.20, 0.30] {
-        let res: Vec<RevealResult> =
-            par_trials(trials, |seed| run_reveal(64, 2, frac, seed));
-        table.row(&[
-            format!("{:.0}", frac * 100.0),
-            f3(mean(&res.iter().map(|r| r.learned_frac).collect::<Vec<_>>())),
-            "≥ 1 − 1/log n".to_string(),
-        ]);
+        let res = e.collect(trials, |seed| run_reveal(64, 2, frac, seed));
+        let learned = mean(&res.iter().map(|r| r.learned_frac).collect::<Vec<_>>());
+        e.case_cells(
+            &[format!("{:.0}", frac * 100.0)],
+            &[f3(learned), "≥ 1 − 1/log n".to_string()],
+            &[learned, 0.0],
+        );
     }
 
-    println!("\nE14b: reveal depth (clean) — attenuation with opening level at n = 64\n");
-    let table = Table::header(&["level", "learned", "rounds"]);
+    e.section(
+        "E14b: reveal depth (clean) — attenuation with opening level at n = 64",
+        &["level", "learned", "rounds"],
+    );
     for level in [2usize, 3] {
-        let res: Vec<RevealResult> =
-            par_trials(trials, |seed| run_reveal(64, level, 0.0, seed));
-        table.row(&[
-            level.to_string(),
-            f3(mean(&res.iter().map(|r| r.learned_frac).collect::<Vec<_>>())),
-            (2 * level + 3).to_string(),
-        ]);
+        let res = e.collect(trials, |seed| run_reveal(64, level, 0.0, seed));
+        let learned = mean(&res.iter().map(|r| r.learned_frac).collect::<Vec<_>>());
+        let rounds = 2 * level + 3;
+        e.case_cells(
+            &[level.to_string()],
+            &[f3(learned), rounds.to_string()],
+            &[learned, rounds as f64],
+        );
     }
 
-    println!("\nE14c: measured wire bits vs the executor's Lemma 5 cost model (n = 64, level 2)\n");
-    let res: Vec<RevealResult> = par_trials(trials, |seed| run_reveal(64, 2, 0.0, seed));
+    e.note("\nE14c: measured wire bits vs the executor's Lemma 5 cost model (n = 64, level 2)\n");
+    let res = e.collect(trials, |seed| run_reveal(64, 2, 0.0, seed));
     let total = mean(&res.iter().map(|r| r.total_bits as f64).collect::<Vec<_>>());
     let max = mean(&res.iter().map(|r| r.max_bits as f64).collect::<Vec<_>>());
     // The executor's model for one 4-word expose from level 2: every
     // member of the (single) level-2 node pays d·words·16 down, every
     // leaf member pays (k1 + llink)·words·16.
     let params = Params::practical(64);
-    let model = (params.node_size(2) as f64)
-        * (params.uplink_degree as f64)
-        * 4.0
-        * 16.0
+    let model = (params.node_size(2) as f64) * (params.uplink_degree as f64) * 4.0 * 16.0
         + 4.0 * (params.k1 as f64) * ((params.k1 + params.llink_degree) as f64) * 4.0 * 16.0;
-    println!("measured total bits : {total:.0}");
-    println!("model (sendDown+open leg) : {model:.0}");
-    println!("measured max bits/proc    : {max:.0}");
-    println!(
-        "ratio measured/model      : {:.2} (the wire run adds the sendSecretUp legs\nand per-path share headers the model prices separately)",
+    e.note(&format!("measured total bits : {total:.0}"));
+    e.note(&format!("model (sendDown+open leg) : {model:.0}"));
+    e.note(&format!("measured max bits/proc    : {max:.0}"));
+    e.note(&format!(
+        "ratio measured/model      : {:.2} (the wire run adds the sendSecretUp legs\n\
+         and per-path share headers the model prices separately)",
         total / model
-    );
-    println!("\npaper claim (Lemma 3(2)): with good paths, 1 − 1/log n of the opening");
-    println!("committee learns the dealt sequence; crash faults below the sharing");
-    println!("threshold cost nothing.");
+    ));
+    e.note("\npaper claim (Lemma 3(2)): with good paths, 1 − 1/log n of the opening");
+    e.note("committee learns the dealt sequence; crash faults below the sharing");
+    e.note("threshold cost nothing.");
+    e.finish();
 }

@@ -3,10 +3,11 @@
 //! that sets its bin choices *after* seeing all good choices (rushing).
 //!
 //! Sweeps: good-candidate fraction; number of bins; and three adversarial
-//! bin strategies (stuff the least-good bin, spread evenly, mimic goods).
+//! bin strategies. Monte-Carlo cells run through the harness's trial
+//! loop ([`ba_exp::Experiment::case_with`]).
 
-use ba_bench::{f3, mean, par_trials, Table};
 use ba_core::election::lightest_bin;
+use ba_exp::{f3, Experiment};
 use ba_sim::derive_rng;
 use rand::Rng;
 
@@ -21,24 +22,17 @@ enum BadStrategy {
     Drown,
 }
 
-fn run_election(
-    r: usize,
-    bins: usize,
-    good_frac: f64,
-    strategy: BadStrategy,
-    seed: u64,
-) -> f64 {
+fn run_election(r: usize, bins: usize, good_frac: f64, strategy: BadStrategy, seed: u64) -> f64 {
     let mut rng = derive_rng(seed, 0xE1EC);
     let good_count = ((r as f64) * good_frac).round() as usize;
     let mut counts = vec![0usize; bins];
     let mut choices = vec![0u16; r];
-    for (i, c) in choices.iter_mut().enumerate().take(good_count) {
+    for c in choices.iter_mut().take(good_count) {
         let b = rng.gen_range(0..bins as u16);
         *c = b;
         counts[b as usize] += 1;
-        let _ = i;
     }
-    // Rushing: bad candidates see the good counts first.
+    // Rushing adversary: picks after seeing all good counts.
     let bad_bin = match strategy {
         BadStrategy::Stuff => (0..bins).min_by_key(|&b| counts[b]).unwrap_or(0) as u16,
         BadStrategy::Drown => (0..bins).max_by_key(|&b| counts[b]).unwrap_or(0) as u16,
@@ -59,39 +53,51 @@ fn main() {
     let trials = 400u64;
     let r = 64;
     let bins = 8;
+    let mut e = Experiment::new("E5", "lightest-bin election quality (Lemma 4)");
 
-    println!("E5a: good-winner fraction vs good-candidate fraction (r = {r}, bins = {bins}, stuffing adversary)\n");
-    let table = Table::header(&["good_cand", "good_win", "lemma4_floor"]);
+    e.section(
+        &format!(
+            "E5a: good-winner fraction vs good-candidate fraction (r = {r}, bins = {bins}, stuffing adversary)"
+        ),
+        &["good_cand", "good_win", "lemma4_floor"],
+    );
     for gf in [0.5, 0.6, 2.0 / 3.0, 0.75, 0.9, 1.0] {
-        let gw = mean(&par_trials(trials, |s| {
-            run_election(r, bins, gf, BadStrategy::Stuff, s)
-        }));
         // Lemma 4: winners from the good set ≥ (|S|/r − 1/log n) fraction.
         let floor = gf - 1.0 / (r as f64).log2();
-        table.row(&[f3(gf), f3(gw), f3(floor)]);
+        let means = e.collect(trials, |s| run_election(r, bins, gf, BadStrategy::Stuff, s));
+        let gw = ba_exp::mean(&means);
+        e.case_cells(&[f3(gf)], &[f3(gw), f3(floor)], &[gw, floor]);
     }
 
-    println!("\nE5b: good-winner fraction vs bins (2/3 good candidates, stuffing adversary)\n");
-    let table = Table::header(&["bins", "good_win", "winners"]);
+    e.section(
+        "E5b: good-winner fraction vs bins (2/3 good candidates, stuffing adversary)",
+        &["bins", "good_win", "winners"],
+    );
     for bins in [2usize, 4, 8, 16, 32] {
-        let gw = mean(&par_trials(trials, |s| {
+        let gw = ba_exp::mean(&e.collect(trials, |s| {
             run_election(r, bins, 2.0 / 3.0, BadStrategy::Stuff, s)
         }));
-        table.row(&[bins.to_string(), f3(gw), (r / bins).max(1).to_string()]);
+        let winners = (r / bins).max(1);
+        e.case_cells(
+            &[bins.to_string()],
+            &[f3(gw), winners.to_string()],
+            &[gw, winners as f64],
+        );
     }
 
-    println!("\nE5c: adversarial bin strategies (2/3 good, r = {r}, bins = {bins})\n");
-    let table = Table::header(&["strategy", "good_win"]);
+    e.section(
+        &format!("E5c: adversarial bin strategies (2/3 good, r = {r}, bins = {bins})"),
+        &["strategy", "good_win"],
+    );
     for (name, strat) in [
         ("stuff", BadStrategy::Stuff),
         ("spread", BadStrategy::Spread),
         ("drown", BadStrategy::Drown),
     ] {
-        let gw = mean(&par_trials(trials, |s| {
-            run_election(r, bins, 2.0 / 3.0, strat, s)
-        }));
-        table.row(&[name.to_string(), f3(gw)]);
+        let gw = ba_exp::mean(&e.collect(trials, |s| run_election(r, bins, 2.0 / 3.0, strat, s)));
+        e.case_values(&[name.to_string()], &[gw]);
     }
-    println!("\npaper claim (Lemma 4): good winners ≥ good-candidate fraction − 1/log n,");
-    println!("regardless of how the adversary places its bin choices after rushing.");
+    e.note("\npaper claim (Lemma 4): good winners ≥ good-candidate fraction − 1/log n,");
+    e.note("regardless of how the adversary places its bin choices after rushing.");
+    e.finish();
 }

@@ -3,64 +3,69 @@
 //! Measures synchronous rounds for (a) the tournament (a.e. BA), (b) the
 //! full everywhere stack, against (c) Phase King, whose `2(t+1) = Θ(n)`
 //! rounds are the deterministic floor the paper escapes. A polylog(n)
-//! quantity has log-log slope → 0; Θ(n) has slope 1. We also fit rounds
-//! against log₂ n to exhibit the polynomial-in-log degree.
+//! quantity has log-log slope → 0; Θ(n) has slope 1.
 
 use ba_baselines::PhaseKingConfig;
-use ba_bench::{f3, loglog_slope, mean, par_trials, Table};
-use ba_core::everywhere::{self, EverywhereConfig};
-use ba_core::tournament::NoTreeAdversary;
-use ba_sim::NullAdversary;
+use ba_exp::{f3, loglog_slope, Experiment, Metric, RunSpec};
 
 fn main() {
     let sizes = [64usize, 128, 256, 512, 1024, 2048];
     let trials = 3u64;
+    let mut e = Experiment::new("E2", &format!("rounds vs n (mean over {trials} seeds)"));
 
-    println!("E2: rounds vs n (mean over {trials} seeds)\n");
-    let table = Table::header(&["n", "ae_rounds", "e_rounds", "phase_king", "e/log2^3"]);
-
+    e.section(
+        "E2: rounds vs n",
+        &["n", "ae_rounds", "e_rounds", "phase_king", "e/log2^3"],
+    );
     let mut xs = Vec::new();
     let mut ae_series = Vec::new();
     let mut e_series = Vec::new();
     let mut pk_series = Vec::new();
 
     for &n in &sizes {
-        let rounds: Vec<(f64, f64)> = par_trials(trials, |seed| {
-            let config = EverywhereConfig::for_n(n).with_seed(seed);
-            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-            let out = everywhere::run(&config, &inputs, &mut NoTreeAdversary, NullAdversary);
-            (out.tournament.rounds as f64, out.rounds as f64)
-        });
-        let ae = mean(&rounds.iter().map(|r| r.0).collect::<Vec<_>>());
-        let e = mean(&rounds.iter().map(|r| r.1).collect::<Vec<_>>());
+        let report = e.run(&RunSpec::everywhere(n).trials(trials));
+        let ae = Metric::TournamentRounds.eval(&report);
+        let ev = Metric::Rounds.eval(&report);
         let pk = PhaseKingConfig::for_n(n).total_rounds() as f64;
         let log_n = (n as f64).log2();
-        table.row(&[
-            n.to_string(),
-            format!("{ae:.0}"),
-            format!("{e:.0}"),
-            format!("{pk:.0}"),
-            f3(e / log_n.powi(3)),
-        ]);
+        e.case_cells(
+            &[n.to_string()],
+            &[
+                format!("{ae:.0}"),
+                format!("{ev:.0}"),
+                format!("{pk:.0}"),
+                f3(ev / log_n.powi(3)),
+            ],
+            &[ae, ev, pk, ev / log_n.powi(3)],
+        );
         xs.push(n as f64);
         ae_series.push(ae);
-        e_series.push(e);
+        e_series.push(ev);
         pk_series.push(pk);
     }
 
-    println!();
     let ae_slope = loglog_slope(&xs, &ae_series);
     let e_slope = loglog_slope(&xs, &e_series);
     let pk_slope = loglog_slope(&xs, &pk_series);
-    println!("log-log slope, a.e. BA rounds     : {} (polylog → well below 1)", f3(ae_slope));
-    println!("log-log slope, everywhere rounds  : {}", f3(e_slope));
-    println!("log-log slope, Phase King rounds  : {} (Θ(n) → 1)", f3(pk_slope));
-    println!(
+    e.note(&format!(
+        "\nlog-log slope, a.e. BA rounds     : {} (polylog → well below 1)",
+        f3(ae_slope)
+    ));
+    e.note(&format!(
+        "log-log slope, everywhere rounds  : {}",
+        f3(e_slope)
+    ));
+    e.note(&format!(
+        "log-log slope, Phase King rounds  : {} (Θ(n) → 1)",
+        f3(pk_slope)
+    ));
+    e.note(&format!(
         "\nshape check: KS slopes ≤ 0.5 and Phase King ≈ 1 → {}",
         if ae_slope < 0.55 && e_slope < 0.55 && pk_slope > 0.9 {
             "REPRODUCED"
         } else {
             "NOT reproduced"
         }
-    );
+    ));
+    e.finish();
 }

@@ -4,83 +4,88 @@
 //! Lemma 5: bit complexity `Õ(n^{4/δ})` for `q = log^δ n` — larger arity
 //! flattens the tree (fewer, bigger elections, fewer hops) at the cost of
 //! bigger committees per level. We sweep q, the AEBA gossip degree, and
-//! the leaf committee size k₁ and report bits/rounds/agreement.
+//! the leaf committee size k₁ through [`ba_exp::TournamentTuning`].
 
-use ba_bench::{f3, mean, par_trials, Table};
 use ba_core::aeba::CommitteeAttack;
-use ba_core::attacks::StaticThird;
-use ba_core::tournament::{self, TournamentConfig};
+use ba_exp::{AdversarySpec, Experiment, Metric, Protocol, RunSpec, TournamentTuning, TreeAttack};
 
-fn run_sweep(n: usize, trials: u64, patch: impl Fn(&mut TournamentConfig) + Sync) -> (f64, f64, f64, f64) {
-    let res: Vec<(f64, f64, f64, f64)> = par_trials(trials, |seed| {
-        let mut config = TournamentConfig::for_n(n).with_seed(seed);
-        patch(&mut config);
-        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-        let out = tournament::run(
-            &config,
-            &inputs,
-            &mut StaticThird {
-                attack: CommitteeAttack::Oppose,
-            },
-        );
-        let stats = out.good_bit_stats();
-        (
-            stats.max as f64,
-            out.rounds as f64,
-            out.agreement_fraction,
-            if out.valid { 1.0 } else { 0.0 },
-        )
-    });
-    (
-        mean(&res.iter().map(|r| r.0).collect::<Vec<_>>()),
-        mean(&res.iter().map(|r| r.1).collect::<Vec<_>>()),
-        mean(&res.iter().map(|r| r.2).collect::<Vec<_>>()),
-        mean(&res.iter().map(|r| r.3).collect::<Vec<_>>()),
-    )
+fn spec(n: usize, trials: u64, tuning: TournamentTuning) -> RunSpec {
+    RunSpec::new(Protocol::Tournament(tuning), n)
+        .trials(trials)
+        .adversary(AdversarySpec::none().with_tree(TreeAttack::StaticThird {
+            attack: CommitteeAttack::Oppose,
+        }))
 }
+
+const METRICS: &[Metric] = &[
+    Metric::BitsMax,
+    Metric::Rounds,
+    Metric::Agreement,
+    Metric::Valid,
+];
 
 fn main() {
     let n = 256;
     let trials = 4u64;
-    println!("E13: parameter ablations at n = {n} (static budget adversary, {trials} seeds)\n");
+    let mut e = Experiment::new(
+        "E13",
+        &format!("parameter ablations at n = {n} (static budget adversary, {trials} seeds)"),
+    );
 
-    println!("E13a: tree arity q (Lemma 5: larger q ⇒ flatter tree ⇒ fewer hops)\n");
-    let table = Table::header(&["q", "levels", "max_bits", "rounds", "agreement", "valid"]);
+    e.section(
+        "E13a: tree arity q (Lemma 5: larger q ⇒ flatter tree ⇒ fewer hops)",
+        &["q", "levels", "max_bits", "rounds", "agreement", "valid"],
+    );
     for q in [2usize, 4, 8, 16] {
         let levels = ba_topology::Params::practical(n).with_q(q).levels;
-        let (bits, rounds, agr, valid) = run_sweep(n, trials, |c| {
-            c.params = ba_topology::Params::practical(n).with_q(q);
-        });
-        table.row(&[
-            q.to_string(),
-            levels.to_string(),
-            format!("{bits:.0}"),
-            format!("{rounds:.0}"),
-            f3(agr),
-            f3(valid),
-        ]);
+        let tuning = TournamentTuning {
+            q: Some(q),
+            ..TournamentTuning::default()
+        };
+        let report = e.run(&spec(n, trials, tuning));
+        let values: Vec<f64> = METRICS.iter().map(|m| m.eval(&report)).collect();
+        let mut cells = vec![levels.to_string()];
+        cells.extend(METRICS.iter().zip(&values).map(|(m, v)| m.format(*v)));
+        let mut vals = vec![levels as f64];
+        vals.extend(&values);
+        e.case_cells(&[q.to_string()], &cells, &vals);
     }
 
-    println!("\nE13b: AEBA gossip degree (concentration vs bits)\n");
-    let table = Table::header(&["degree", "max_bits", "agreement", "valid"]);
+    e.section(
+        "E13b: AEBA gossip degree (concentration vs bits)",
+        &["degree", "max_bits", "agreement", "valid"],
+    );
     for mult in [1usize, 2, 4, 6, 8] {
         let d = mult * (n as f64).sqrt() as usize;
-        let (bits, _rounds, agr, valid) = run_sweep(n, trials, |c| {
-            c.params = ba_topology::Params::practical(n).with_aeba_degree(d);
-        });
-        table.row(&[d.to_string(), format!("{bits:.0}"), f3(agr), f3(valid)]);
+        let tuning = TournamentTuning {
+            aeba_degree: Some(d),
+            ..TournamentTuning::default()
+        };
+        e.case(
+            &[d.to_string()],
+            &spec(n, trials, tuning),
+            &[Metric::BitsMax, Metric::Agreement, Metric::Valid],
+        );
     }
 
-    println!("\nE13c: leaf committee size k₁ (custody robustness vs share fan-out)\n");
-    let table = Table::header(&["k1", "max_bits", "agreement", "valid"]);
+    e.section(
+        "E13c: leaf committee size k₁ (custody robustness vs share fan-out)",
+        &["k1", "max_bits", "agreement", "valid"],
+    );
     for k1 in [8usize, 12, 20, 32, 48] {
-        let (bits, _rounds, agr, valid) = run_sweep(n, trials, |c| {
-            c.params = ba_topology::Params::practical(n).with_k1(k1);
-        });
-        table.row(&[k1.to_string(), format!("{bits:.0}"), f3(agr), f3(valid)]);
+        let tuning = TournamentTuning {
+            k1: Some(k1),
+            ..TournamentTuning::default()
+        };
+        e.case(
+            &[k1.to_string()],
+            &spec(n, trials, tuning),
+            &[Metric::BitsMax, Metric::Agreement, Metric::Valid],
+        );
     }
 
-    println!("\npaper claim (Lemma 5): the d_m^ℓ* share fan-out term dominates; raising q");
-    println!("shortens the tree and cuts bits until committee sizes hit n. The gossip");
-    println!("degree buys agreement quality linearly in bits.");
+    e.note("\npaper claim (Lemma 5): the d_m^ℓ* share fan-out term dominates; raising q");
+    e.note("shortens the tree and cuts bits until committee sizes hit n. The gossip");
+    e.note("degree buys agreement quality linearly in bits.");
+    e.finish();
 }

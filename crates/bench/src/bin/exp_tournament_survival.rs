@@ -2,81 +2,73 @@
 //! level stays near 2/3 — the paper bounds the loss at `7ℓ/log n` per
 //! level ℓ.
 //!
-//! Runs the tournament under the budget-level static adversary and the
-//! adaptive custody-buster and prints good-candidate / good-winner
-//! fractions per level.
+//! Runs the tournament (one [`ba_exp::RunSpec`] per adversary) under the
+//! budget-level static adversary and the adaptive custody-buster and
+//! prints good-candidate / good-winner fractions per level.
 
-use ba_bench::{f3, mean, par_trials, Table};
 use ba_core::aeba::CommitteeAttack;
-use ba_core::attacks::{CustodyBuster, StaticThird, WinnerHunter};
-use ba_core::tournament::{self, LevelStats, TournamentConfig, TreeAdversary};
-
-fn collect(n: usize, trials: u64, mk: impl Fn() -> Box<dyn TreeAdversary> + Sync) -> Vec<Vec<LevelStats>> {
-    par_trials(trials, |seed| {
-        let config = TournamentConfig::for_n(n).with_seed(seed);
-        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-        let mut adv = mk();
-        tournament::run(&config, &inputs, &mut adv).level_stats
-    })
-}
-
-fn print_for(name: &str, runs: &[Vec<LevelStats>]) {
-    println!("adversary: {name}");
-    let levels = runs[0].len();
-    let table = Table::header(&["level", "good_cand", "good_win", "bad_elec%", "agreement"]);
-    for li in 0..levels {
-        let gc = mean(
-            &runs
-                .iter()
-                .map(|r| r[li].good_candidates as f64 / r[li].candidates.max(1) as f64)
-                .collect::<Vec<_>>(),
-        );
-        let gw = mean(
-            &runs
-                .iter()
-                .map(|r| r[li].good_winners as f64 / r[li].winners.max(1) as f64)
-                .collect::<Vec<_>>(),
-        );
-        let be = mean(
-            &runs
-                .iter()
-                .map(|r| 100.0 * r[li].bad_elections as f64 / r[li].elections.max(1) as f64)
-                .collect::<Vec<_>>(),
-        );
-        let agr = mean(&runs.iter().map(|r| r[li].mean_agreement).collect::<Vec<_>>());
-        table.row(&[
-            runs[0][li].level.to_string(),
-            f3(gc),
-            f3(gw),
-            f3(be),
-            f3(agr),
-        ]);
-    }
-    println!();
-}
+use ba_exp::{f3, mean, AdversarySpec, Experiment, RunSpec, TreeAttack};
 
 fn main() {
     let n = 512;
     let trials = 5u64;
-    println!("E6: good-array survival per tournament level, n = {n} ({trials} seeds)\n");
+    let mut e = Experiment::new(
+        "E6",
+        &format!("good-array survival per tournament level, n = {n} ({trials} seeds)"),
+    );
 
-    let clean = collect(n, trials, || Box::new(tournament::NoTreeAdversary));
-    print_for("none", &clean);
+    let cases: [(&str, TreeAttack); 4] = [
+        ("none", TreeAttack::None),
+        (
+            "static-budget (oppose)",
+            TreeAttack::StaticThird {
+                attack: CommitteeAttack::Oppose,
+            },
+        ),
+        ("winner-hunter (adaptive)", TreeAttack::WinnerHunter),
+        (
+            "custody-buster (adaptive)",
+            TreeAttack::CustodyBuster {
+                aggressiveness: 1.0,
+            },
+        ),
+    ];
 
-    let stat = collect(n, trials, || {
-        Box::new(StaticThird {
-            attack: CommitteeAttack::Oppose,
-        })
-    });
-    print_for("static-budget (oppose)", &stat);
+    for (name, tree) in cases {
+        let report = e.run(
+            &RunSpec::tournament(n)
+                .trials(trials)
+                .adversary(AdversarySpec::none().with_tree(tree)),
+        );
+        e.section(
+            &format!("adversary: {name}"),
+            &["level", "good_cand", "good_win", "bad_elec%", "agreement"],
+        );
+        let levels = report.trials[0].level_stats.len();
+        for li in 0..levels {
+            let over = |f: &dyn Fn(&ba_core::tournament::LevelStats) -> f64| {
+                mean(
+                    &report
+                        .trials
+                        .iter()
+                        .map(|t| f(&t.level_stats[li]))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            let gc = over(&|s| s.good_candidates as f64 / s.candidates.max(1) as f64);
+            let gw = over(&|s| s.good_winners as f64 / s.winners.max(1) as f64);
+            let be = over(&|s| 100.0 * s.bad_elections as f64 / s.elections.max(1) as f64);
+            let agr = over(&|s| s.mean_agreement);
+            e.case_cells(
+                &[report.trials[0].level_stats[li].level.to_string()],
+                &[f3(gc), f3(gw), f3(be), f3(agr)],
+                &[gc, gw, be, agr],
+            );
+        }
+    }
 
-    let hunter = collect(n, trials, || Box::new(WinnerHunter));
-    print_for("winner-hunter (adaptive)", &hunter);
-
-    let buster = collect(n, trials, || Box::new(CustodyBuster::all_in()));
-    print_for("custody-buster (adaptive)", &buster);
-
-    println!("paper claim (Lemma 6): good winners ≥ 2/3 − 7ℓ/log n at every level ℓ;");
-    println!("the static adversary's good fraction enters at ≈ 1 − (1/3 − ε) ≈ 0.77 and");
-    println!("decays by at most O(1/log n) per level.");
+    e.note("\npaper claim (Lemma 6): good winners ≥ 2/3 − 7ℓ/log n at every level ℓ;");
+    e.note("the static adversary's good fraction enters at ≈ 1 − (1/3 − ε) ≈ 0.77 and");
+    e.note("decays by at most O(1/log n) per level.");
+    e.finish();
 }

@@ -2,80 +2,88 @@
 //!
 //! The paper claims its techniques also solve universe reduction in
 //! `Õ(√n)` bits: select a small committee whose corrupt fraction tracks
-//! the population's, against an adaptive adversary. We run the tournament
-//! under each adversary, reduce the universe with the resulting beacon,
-//! and measure representativeness and honest-majority rates; the
-//! strawman "announce then trust" selection is shown for contrast.
+//! the population's, against an adaptive adversary. We run the
+//! tournament (one [`ba_exp::RunSpec`] per adversary), reduce the
+//! universe with the resulting beacon, and measure representativeness
+//! and honest-majority rates; the strawman "announce then trust"
+//! selection is shown for contrast.
 
-use ba_bench::{f3, mean, par_trials, Table};
-use ba_core::attacks::{CustodyBuster, StaticThird, WinnerHunter};
 use ba_core::coin::CoinSequence;
-use ba_core::tournament::{self, NoTreeAdversary, TournamentConfig, TreeAdversary};
 use ba_core::universe::{reduce_universe, Representativeness};
-
-/// A boxed adversary factory (object-safe, thread-shareable).
-type AdvFactory = Box<dyn Fn() -> Box<dyn TreeAdversary> + Sync>;
+use ba_core::TournamentConfig;
+use ba_exp::{f3, mean, AdversarySpec, Experiment, RunSpec, TreeAttack};
 
 fn main() {
     let n = 256;
     let committee = 15;
     let trials = 8u64;
-    println!(
-        "E15: universe reduction to {committee}-member committees at n = {n} ({trials} seeds)\n"
+    let mut e = Experiment::new(
+        "E15",
+        &format!("universe reduction to {committee}-member committees at n = {n} ({trials} seeds)"),
     );
 
-    let cases: Vec<(&str, AdvFactory)> = vec![
-        ("none", Box::new(|| Box::new(NoTreeAdversary))),
+    let cases: [(&str, TreeAttack); 4] = [
+        ("none", TreeAttack::None),
         (
             "static-budget",
-            Box::new(|| Box::new(StaticThird::default())),
+            TreeAttack::StaticThird {
+                attack: Default::default(),
+            },
         ),
-        ("winner-hunter", Box::new(|| Box::new(WinnerHunter))),
+        ("winner-hunter", TreeAttack::WinnerHunter),
         (
             "custody-buster",
-            Box::new(|| Box::new(CustodyBuster::all_in())),
+            TreeAttack::CustodyBuster {
+                aggressiveness: 1.0,
+            },
         ),
     ];
 
-    let table = Table::header(&[
-        "adversary",
-        "pop_bad",
-        "cmte_bad",
-        "excess",
-        "honest_maj%",
-    ]);
-    for (name, mk) in &cases {
-        let res: Vec<Representativeness> = par_trials(trials, |seed| {
-            let config = TournamentConfig::for_n(n).with_seed(seed);
-            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-            let mut adv = mk();
-            let out = tournament::run(&config, &inputs, &mut adv);
-            let beacon = CoinSequence::from_tournament(&out);
-            let cmte = reduce_universe(&beacon, n, committee);
-            Representativeness::measure(&cmte, &out.corrupt)
-        });
-        table.row(&[
-            name.to_string(),
-            f3(mean(&res.iter().map(|r| r.population_bad).collect::<Vec<_>>())),
-            f3(mean(&res.iter().map(|r| r.committee_bad).collect::<Vec<_>>())),
-            f3(mean(&res.iter().map(|r| r.excess).collect::<Vec<_>>())),
-            format!(
-                "{:.0}",
-                100.0 * res.iter().filter(|r| r.honest_majority()).count() as f64
-                    / trials as f64
-            ),
-        ]);
+    e.section(
+        "E15: beacon-driven committees stay representative",
+        &["adversary", "pop_bad", "cmte_bad", "excess", "honest_maj%"],
+    );
+    for (name, tree) in cases {
+        let report = e.run(
+            &RunSpec::tournament(n)
+                .trials(trials)
+                .adversary(AdversarySpec::none().with_tree(tree)),
+        );
+        let res: Vec<Representativeness> = report
+            .trials
+            .iter()
+            .map(|t| {
+                let beacon = t
+                    .coins
+                    .clone()
+                    .unwrap_or_else(|| CoinSequence::new(Vec::new()));
+                let cmte = reduce_universe(&beacon, n, committee);
+                Representativeness::measure(&cmte, &t.corrupt)
+            })
+            .collect();
+        let pop = mean(&res.iter().map(|r| r.population_bad).collect::<Vec<_>>());
+        let cmte = mean(&res.iter().map(|r| r.committee_bad).collect::<Vec<_>>());
+        let excess = mean(&res.iter().map(|r| r.excess).collect::<Vec<_>>());
+        let maj =
+            100.0 * res.iter().filter(|r| r.honest_majority()).count() as f64 / res.len() as f64;
+        e.case_cells(
+            &[name.to_string()],
+            &[f3(pop), f3(cmte), f3(excess), format!("{maj:.0}")],
+            &[pop, cmte, excess, maj],
+        );
     }
 
     // Strawman: announce a fixed committee at time zero, then let the
     // adaptive adversary corrupt it.
     let budget = TournamentConfig::for_n(n).params.corruption_budget();
     let strawman_bad = committee.min(budget) as f64 / committee as f64;
-    println!(
-        "\nstrawman (announce-then-trust): committee corrupt fraction {} — the\nadaptive adversary seizes the announced set whole; honest majority 0%.",
+    e.note(&format!(
+        "\nstrawman (announce-then-trust): committee corrupt fraction {} — the\n\
+         adaptive adversary seizes the announced set whole; honest majority 0%.",
         f3(strawman_bad)
-    );
-    println!("\npaper claim (§1.2, §2): universe reduction with a representative (not");
-    println!("adaptively capturable) committee; the beacon words are secrets until the");
-    println!("root opening, so selection cannot be anticipated.");
+    ));
+    e.note("\npaper claim (§1.2, §2): universe reduction with a representative (not");
+    e.note("adaptively capturable) committee; the beacon words are secrets until the");
+    e.note("root opening, so selection cannot be anticipated.");
+    e.finish();
 }

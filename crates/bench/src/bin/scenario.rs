@@ -1,343 +1,23 @@
 //! Declarative scenario runner: executes `key = value` scenario specs
-//! (see `ba_net::ScenarioSpec`) over the `ba-net` timed/faulty network
-//! and reports agreement quality plus network statistics per scenario.
+//! (see `ba_net::ScenarioSpec`) by lowering each onto the unified
+//! [`ba_exp::RunSpec`] surface — the same API the `exp_*` binaries and
+//! the library entry points use — and reports agreement quality plus
+//! network statistics per scenario.
 //!
 //! ```text
 //! cargo run --release -p ba-bench --bin scenario -- [--json OUT] SPEC...
 //! ```
 //!
 //! Each `SPEC` is a `.scn` file or a directory of them (sorted). Trials
-//! fan out over the `ba-par` worker pool; every trial derives its own
-//! seed (`seed + trial`) and owns its own transport, so results are
-//! deterministic per spec regardless of thread count. With `--json` a
-//! machine-readable array of per-scenario rows is written for
-//! `scripts/bench.sh` to fold into `BENCH_<n>.json`.
+//! fan out over the `ba-par` worker pool inside `ba_exp::run`; every
+//! trial derives its own seed (`seed + trial`) and owns its own
+//! transport, so results are deterministic per spec regardless of
+//! thread count. With `--json` a machine-readable array of per-scenario
+//! rows is written for `scripts/bench.sh` to fold into `BENCH_<n>.json`.
 
-use ba_baselines::{
-    BenOrConfig, BenOrProcess, FloodConfig, FloodProcess, PhaseKingConfig, PhaseKingProcess,
-    RabinConfig, RabinProcess,
-};
-use ba_core::ae_to_e::{AeToEConfig, AeToEProcess};
-use ba_core::aeba::{AebaConfig, AebaProcess, UnreliableCoin};
-use ba_core::attacks::SplitVoter;
-use ba_net::{NetStats, NetTransport, ScenarioSpec};
-use ba_sim::{Adversary, ProcId, Process, SimBuilder, StaticAdversary};
-use rand::SeedableRng;
-use std::sync::Arc;
-use std::time::Instant;
-
-/// The value the knowledgeable side spreads in `ae_to_e` scenarios.
-const AE_MESSAGE: u64 = 77;
-
-/// One trial's harvest.
-struct TrialResult {
-    /// Plurality-agreement fraction among live good processors.
-    agree: f64,
-    /// Fraction of live good processors that decided at all.
-    decided: f64,
-    rounds: usize,
-    total_bits: u64,
-    net: NetStats,
-}
-
-/// Agreement among processors that are neither corrupted nor
-/// crash-stopped: crashed processors cannot be held to agreement, but
-/// churned processors can (they come back).
-fn tally<O: PartialEq>(outputs: &[Option<O>], corrupt: &[bool], faulty: &[bool]) -> (f64, f64) {
-    let live: Vec<usize> = (0..outputs.len())
-        .filter(|&i| !corrupt[i] && !faulty[i])
-        .collect();
-    if live.is_empty() {
-        return (1.0, 1.0);
-    }
-    let decided = live.iter().filter(|&&i| outputs[i].is_some()).count();
-    let plurality = live
-        .iter()
-        .map(|&i| {
-            live.iter()
-                .filter(|&&j| outputs[j].is_some() && outputs[j] == outputs[i])
-                .count()
-        })
-        .max()
-        .unwrap_or(0);
-    (
-        plurality as f64 / live.len() as f64,
-        decided as f64 / live.len() as f64,
-    )
-}
-
-/// Builds the simulation for one trial and runs it over `ba-net`.
-fn run_case<P, F, A>(
-    spec: &ScenarioSpec,
-    trial: u64,
-    max_rounds: usize,
-    make: F,
-    adversary: A,
-) -> TrialResult
-where
-    P: Process,
-    P::Output: PartialEq,
-    F: FnMut(ProcId, usize) -> P,
-    A: Adversary<P>,
-{
-    let transport = NetTransport::new(spec.n, spec.net_config(trial));
-    let sim = SimBuilder::new(spec.n)
-        .seed(spec.seed.wrapping_add(trial))
-        .max_corruptions(spec.corrupt)
-        .build_with_transport(make, adversary, transport);
-    let (outcome, transport) = sim.run_parts(max_rounds);
-    let (agree, decided) = tally(&outcome.outputs, &outcome.corrupt, &outcome.faulty);
-    TrialResult {
-        agree,
-        decided,
-        rounds: outcome.rounds,
-        total_bits: outcome.metrics.total_bits(),
-        net: transport.into_stats(),
-    }
-}
-
-/// The generic adversary roster. Protocol-specific adversaries (AEBA's
-/// vote splitter) are matched inside the protocol arms.
-fn generic_adversary(spec: &ScenarioSpec) -> Result<StaticAdversary, String> {
-    match spec.adversary.as_str() {
-        "none" => Ok(StaticAdversary::default()),
-        "crash" => Ok(StaticAdversary::first_k(spec.corrupt)),
-        other => Err(format!(
-            "scenario `{}`: adversary `{other}` not available for protocol `{}`",
-            spec.name, spec.protocol
-        )),
-    }
-}
-
-/// Runs one trial of `spec`. `rounds` overrides the *protocol length*
-/// where the protocol is length-parametric (aeba), and the run cap
-/// everywhere else.
-fn run_trial(spec: &ScenarioSpec, trial: u64) -> Result<TrialResult, String> {
-    let n = spec.n;
-    let seed = spec.seed.wrapping_add(trial);
-    match spec.protocol.as_str() {
-        "flood" => {
-            let cfg = FloodConfig::for_n(n);
-            let cap = spec.rounds.unwrap_or(cfg.rounds + 2);
-            let adv = generic_adversary(spec)?;
-            Ok(run_case(
-                spec,
-                trial,
-                cap,
-                move |p, _| FloodProcess::new(cfg, spec.input.bit(p.index())),
-                adv,
-            ))
-        }
-        "phase_king" => {
-            let cfg = PhaseKingConfig::for_n(n);
-            let cap = spec.rounds.unwrap_or(cfg.total_rounds() + 2);
-            let adv = generic_adversary(spec)?;
-            Ok(run_case(
-                spec,
-                trial,
-                cap,
-                move |p, _| PhaseKingProcess::new(cfg, spec.input.bit(p.index())),
-                adv,
-            ))
-        }
-        "ben_or" => {
-            let cfg = BenOrConfig::for_n(n);
-            let cap = spec.rounds.unwrap_or(cfg.total_rounds() + 2);
-            let adv = generic_adversary(spec)?;
-            Ok(run_case(
-                spec,
-                trial,
-                cap,
-                move |p, _| BenOrProcess::new(cfg, spec.input.bit(p.index())),
-                adv,
-            ))
-        }
-        "rabin" => {
-            let mut cfg = RabinConfig::for_n(n);
-            cfg.beacon_seed ^= seed; // fresh beacon per trial
-            let cap = spec.rounds.unwrap_or(cfg.total_rounds() + 2);
-            let adv = generic_adversary(spec)?;
-            Ok(run_case(
-                spec,
-                trial,
-                cap,
-                move |p, _| RabinProcess::new(cfg, spec.input.bit(p.index())),
-                adv,
-            ))
-        }
-        "aeba" => {
-            let rounds = spec.rounds.unwrap_or(AebaConfig::default().rounds);
-            let cfg = AebaConfig {
-                rounds,
-                ..AebaConfig::default()
-            };
-            let degree = (6.0 * (n as f64).sqrt()).ceil() as usize;
-            let mut grng = rand_chacha::ChaCha12Rng::seed_from_u64(seed ^ 0x6261_6772);
-            let graph = Arc::new(ba_sampler::RegularGraph::random_out_degree(
-                n, degree, &mut grng,
-            ));
-            let coin = Arc::new(UnreliableCoin::generate(
-                rounds,
-                spec.coin_success,
-                spec.coin_blind,
-                seed,
-            ));
-            let make = move |p: ProcId, _n: usize| {
-                AebaProcess::new(
-                    p,
-                    spec.input.bit(p.index()),
-                    graph.clone(),
-                    coin.clone(),
-                    cfg.clone(),
-                    false,
-                )
-            };
-            match spec.adversary.as_str() {
-                "split" => Ok(run_case(
-                    spec,
-                    trial,
-                    rounds + 2,
-                    make,
-                    SplitVoter { count: spec.corrupt },
-                )),
-                _ => {
-                    let adv = generic_adversary(spec)?;
-                    Ok(run_case(spec, trial, rounds + 2, make, adv))
-                }
-            }
-        }
-        "ae_to_e" => {
-            let cfg = AeToEConfig::for_n(n, 0.1);
-            let cap = spec.rounds.unwrap_or(cfg.total_rounds() + 1);
-            let adv = generic_adversary(spec)?;
-            Ok(run_case(
-                spec,
-                trial,
-                cap,
-                move |p, _| {
-                    // Knowledgeable processors (those holding the message)
-                    // follow the input pattern.
-                    let k = spec.input.bit(p.index()).then_some(AE_MESSAGE);
-                    AeToEProcess::new(cfg.clone(), k)
-                },
-                adv,
-            ))
-        }
-        other => Err(format!(
-            "scenario `{}`: unknown protocol `{other}`",
-            spec.name
-        )),
-    }
-}
-
-/// Per-scenario aggregate over all trials.
-struct ScenarioReport {
-    spec: ScenarioSpec,
-    agree_mean: f64,
-    agree_min: f64,
-    decided_mean: f64,
-    rounds_mean: f64,
-    bits_mean: f64,
-    net: NetStats,
-    wall_seconds: f64,
-}
-
-fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
-    let start = Instant::now();
-    let trials: Vec<Result<TrialResult, String>> =
-        ba_bench::par_trials(spec.trials, |t| run_trial(spec, t));
-    let mut results = Vec::with_capacity(trials.len());
-    for t in trials {
-        results.push(t?);
-    }
-    let k = results.len() as f64;
-    let mut net = NetStats::default();
-    for r in &results {
-        net.sent += r.net.sent;
-        net.delivered += r.net.delivered;
-        net.late += r.net.late;
-        net.late_rounds += r.net.late_rounds;
-        net.dropped_random += r.net.dropped_random;
-        net.dropped_partition += r.net.dropped_partition;
-        net.dead_letters += r.net.dead_letters;
-        net.in_flight_at_end += r.net.in_flight_at_end;
-        if net.per_phase.is_empty() {
-            net.per_phase = r.net.per_phase.clone();
-        } else {
-            for (acc, p) in net.per_phase.iter_mut().zip(&r.net.per_phase) {
-                acc.sent += p.sent;
-                acc.delivered += p.delivered;
-                acc.late += p.late;
-                acc.late_rounds += p.late_rounds;
-                acc.dropped_random += p.dropped_random;
-                acc.dropped_partition += p.dropped_partition;
-                acc.dead_letters += p.dead_letters;
-            }
-        }
-    }
-    Ok(ScenarioReport {
-        spec: spec.clone(),
-        agree_mean: results.iter().map(|r| r.agree).sum::<f64>() / k,
-        agree_min: results.iter().map(|r| r.agree).fold(f64::INFINITY, f64::min),
-        decided_mean: results.iter().map(|r| r.decided).sum::<f64>() / k,
-        rounds_mean: results.iter().map(|r| r.rounds as f64).sum::<f64>() / k,
-        bits_mean: results.iter().map(|r| r.total_bits as f64).sum::<f64>() / k,
-        net,
-        wall_seconds: start.elapsed().as_secs_f64(),
-    })
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn report_json(r: &ScenarioReport) -> String {
-    let mut phases = String::new();
-    for (i, p) in r.net.per_phase.iter().enumerate() {
-        if i > 0 {
-            phases.push_str(", ");
-        }
-        phases.push_str(&format!(
-            "{{\"name\": \"{}\", \"sent\": {}, \"delivered\": {}, \"late\": {}, \"late_rounds\": {}, \"dropped_random\": {}, \"dropped_partition\": {}, \"dead_letters\": {}}}",
-            json_escape(&p.name),
-            p.sent,
-            p.delivered,
-            p.late,
-            p.late_rounds,
-            p.dropped_random,
-            p.dropped_partition,
-            p.dead_letters,
-        ));
-    }
-    format!(
-        "{{\"scenario\": \"{}\", \"protocol\": \"{}\", \"n\": {}, \"trials\": {}, \
-         \"agree_mean\": {:.4}, \"agree_min\": {:.4}, \"decided_mean\": {:.4}, \
-         \"rounds_mean\": {:.1}, \"total_bits_mean\": {:.0}, \"wall_seconds\": {:.3}, \
-         \"net\": {{\"sent\": {}, \"delivered\": {}, \"late\": {}, \"late_rounds\": {}, \
-         \"dropped_random\": {}, \"dropped_partition\": {}, \"dead_letters\": {}, \
-         \"in_flight_at_end\": {}}}, \
-         \"phases\": [{}]}}",
-        json_escape(&r.spec.name),
-        json_escape(&r.spec.protocol),
-        r.spec.n,
-        r.spec.trials,
-        r.agree_mean,
-        r.agree_min,
-        r.decided_mean,
-        r.rounds_mean,
-        r.bits_mean,
-        r.wall_seconds,
-        r.net.sent,
-        r.net.delivered,
-        r.net.late,
-        r.net.late_rounds,
-        r.net.dropped_random,
-        r.net.dropped_partition,
-        r.net.dead_letters,
-        r.net.in_flight_at_end,
-        phases,
-    )
-}
+use ba_exp::scenario::{run_scenario, SCENARIO_COLUMNS};
+use ba_exp::Table;
+use ba_net::ScenarioSpec;
 
 /// Expands a path argument into .scn files (directories are read sorted).
 fn expand(path: &str) -> Result<Vec<std::path::PathBuf>, String> {
@@ -390,45 +70,18 @@ fn main() {
         }
     }
 
-    let table = ba_bench::Table::header(&[
-        "scenario", "protocol", "n", "trials", "agree", "min", "decided", "rounds", "loss%",
-        "late%", "wall_s",
-    ]);
+    let table = Table::header(SCENARIO_COLUMNS);
     let mut rows = Vec::new();
     let mut failed = false;
     for file in &files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: {}: {e}", file.display());
-                failed = true;
-                continue;
-            }
-        };
-        let spec = match ScenarioSpec::parse(&text) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: {}: {e}", file.display());
-                failed = true;
-                continue;
-            }
-        };
-        match run_scenario(&spec) {
-            Ok(r) => {
-                table.row(&[
-                    r.spec.name.clone(),
-                    r.spec.protocol.clone(),
-                    r.spec.n.to_string(),
-                    r.spec.trials.to_string(),
-                    format!("{:.3}", r.agree_mean),
-                    format!("{:.3}", r.agree_min),
-                    format!("{:.3}", r.decided_mean),
-                    format!("{:.1}", r.rounds_mean),
-                    format!("{:.1}", 100.0 * r.net.loss_rate()),
-                    format!("{:.1}", 100.0 * r.net.late_rate()),
-                    format!("{:.2}", r.wall_seconds),
-                ]);
-                rows.push(report_json(&r));
+        let parsed = std::fs::read_to_string(file)
+            .map_err(|e| e.to_string())
+            .and_then(|text| ScenarioSpec::parse(&text))
+            .and_then(|spec| run_scenario(&spec));
+        match parsed {
+            Ok(report) => {
+                table.row(&report.table_cells());
+                rows.push(report.json_row());
             }
             Err(e) => {
                 eprintln!("error: {}: {e}", file.display());

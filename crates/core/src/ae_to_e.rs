@@ -234,8 +234,7 @@ impl AeToEProcess {
         else {
             return;
         };
-        let need =
-            (self.cfg.threshold_frac * self.cfg.per_label as f64).ceil() as usize;
+        let need = (self.cfg.threshold_frac * self.cfg.per_label as f64).ceil() as usize;
         if let Some((&value, &count)) = counts.iter().max_by_key(|(_, &c)| c) {
             if count >= need {
                 self.decided = Some(value);

@@ -485,9 +485,7 @@ pub fn run_committee_traced<R: Rng + ?Sized>(
     let good_ones = (0..k).filter(|&i| good[i] && votes[i]).count();
     let good_total = good.iter().filter(|&&g| g).count().max(1);
     let decided = 2 * good_ones >= good_total;
-    let agreeing = (0..k)
-        .filter(|&i| good[i] && votes[i] == decided)
-        .count();
+    let agreeing = (0..k).filter(|&i| good[i] && votes[i] == decided).count();
     (
         CommitteeOutcome {
             votes,
@@ -600,9 +598,7 @@ mod tests {
     #[test]
     fn blind_fraction_blinds_roughly_that_many() {
         let coin = UnreliableCoin::from_schedule(vec![Some(true)], 0.3, 9);
-        let wrong = (0..2000)
-            .filter(|&who| !coin.view(who, 0, false))
-            .count();
+        let wrong = (0..2000).filter(|&who| !coin.view(who, 0, false)).count();
         // Blind processors see a *random* bit, so ~15% end up wrong.
         let frac = wrong as f64 / 2000.0;
         assert!((0.08..0.25).contains(&frac), "wrong fraction {frac}");

@@ -32,6 +32,23 @@ use rand::Rng;
 // Tree (tournament) adversaries
 // ---------------------------------------------------------------------------
 
+/// `k` *distinct* targets spread over the id space `0..n` (contiguous
+/// prefixes would cluster in leaf committees and waste budget on
+/// overlap). The stride is the smallest value ≥ 7 coprime to `n`, so
+/// the walk visits every id before repeating — a fixed stride of 7
+/// would collapse to `n/gcd(7, n)` ids whenever `7 | n`.
+fn spread_targets(k: usize, n: usize) -> Vec<usize> {
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let stride = (7..).find(|&s| gcd(s, n) == 1).unwrap_or(1);
+    (0..k.min(n)).map(|i| (i * stride + 3) % n).collect()
+}
+
 /// Non-adaptive: corrupts the full budget at the deal, nothing after.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StaticThird {
@@ -42,11 +59,34 @@ pub struct StaticThird {
 impl TreeAdversary for StaticThird {
     fn corrupt(&mut self, phase: PhaseKind, view: &TreeView<'_>) -> Vec<usize> {
         if phase == PhaseKind::Deal {
-            // Spread over the id space (contiguous prefixes would cluster
-            // in leaf committees and waste budget on overlap).
+            spread_targets(view.budget_left, view.corrupt.len())
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn committee_attack(&self) -> CommitteeAttack {
+        self.attack
+    }
+}
+
+/// Non-adaptive like [`StaticThird`], but at an arbitrary corruption
+/// fraction of the population (clamped to the budget): the sweep knob
+/// experiment E3 turns to find where the `1/3 − ε` guarantee dies.
+#[derive(Clone, Copy, Debug)]
+pub struct StaticFraction {
+    /// Fraction of processors corrupted at the deal.
+    pub frac: f64,
+    /// Committee behaviour of the corrupted members.
+    pub attack: CommitteeAttack,
+}
+
+impl TreeAdversary for StaticFraction {
+    fn corrupt(&mut self, phase: PhaseKind, view: &TreeView<'_>) -> Vec<usize> {
+        if phase == PhaseKind::Deal {
             let n = view.corrupt.len();
-            let budget = view.budget_left;
-            (0..budget).map(|i| (i * 7 + 3) % n).collect()
+            let k = ((n as f64) * self.frac.clamp(0.0, 1.0)) as usize;
+            spread_targets(k, n)
         } else {
             Vec::new()
         }
@@ -123,9 +163,8 @@ impl TreeAdversary for CustodyBuster {
             return Vec::new();
         };
         let members = view.tree.members(NodeAddr::new(view.level, node));
-        let spend = ((view.budget_left as f64)
-            * self.aggressiveness.clamp(0.0, 1.0))
-        .floor() as usize;
+        let spend =
+            ((view.budget_left as f64) * self.aggressiveness.clamp(0.0, 1.0)).floor() as usize;
         members
             .iter()
             .map(|&m| m as usize)
@@ -153,11 +192,7 @@ pub struct SplitVoter {
 }
 
 impl Adversary<AebaProcess> for SplitVoter {
-    fn act(
-        &mut self,
-        view: &AdvView<'_, AebaProcess>,
-        _rng: &mut SimRng,
-    ) -> AdvAction<VoteMsg> {
+    fn act(&mut self, view: &AdvView<'_, AebaProcess>, _rng: &mut SimRng) -> AdvAction<VoteMsg> {
         let mut action = AdvAction::none();
         if view.round() == 0 {
             action.corrupt = (0..self.count.min(view.n())).map(ProcId::new).collect();
@@ -199,11 +234,7 @@ pub struct ResponseForger {
 }
 
 impl Adversary<AeToEProcess> for ResponseForger {
-    fn act(
-        &mut self,
-        view: &AdvView<'_, AeToEProcess>,
-        _rng: &mut SimRng,
-    ) -> AdvAction<AeMsg> {
+    fn act(&mut self, view: &AdvView<'_, AeToEProcess>, _rng: &mut SimRng) -> AdvAction<AeMsg> {
         let mut action = AdvAction::none();
         if view.round() == 0 {
             action.corrupt = (0..self.count.min(view.n())).map(ProcId::new).collect();
@@ -243,11 +274,7 @@ pub struct Overloader {
 }
 
 impl Adversary<AeToEProcess> for Overloader {
-    fn act(
-        &mut self,
-        view: &AdvView<'_, AeToEProcess>,
-        rng: &mut SimRng,
-    ) -> AdvAction<AeMsg> {
+    fn act(&mut self, view: &AdvView<'_, AeToEProcess>, rng: &mut SimRng) -> AdvAction<AeMsg> {
         let mut action = AdvAction::none();
         if view.round() == 0 {
             action.corrupt = (0..self.count.min(view.n())).map(ProcId::new).collect();
@@ -256,7 +283,9 @@ impl Adversary<AeToEProcess> for Overloader {
             for _ in 0..self.copies {
                 let to = ProcId::new(rng.gen_range(0..view.n()));
                 let label = rng.gen_range(0..self.labels.max(1)) as u16;
-                action.inject.push(Envelope::new(c, to, AeMsg::Request { label }));
+                action
+                    .inject
+                    .push(Envelope::new(c, to, AeMsg::Request { label }));
             }
         }
         action
@@ -279,11 +308,7 @@ pub struct LabelGuesser {
 }
 
 impl Adversary<AeToEProcess> for LabelGuesser {
-    fn act(
-        &mut self,
-        view: &AdvView<'_, AeToEProcess>,
-        rng: &mut SimRng,
-    ) -> AdvAction<AeMsg> {
+    fn act(&mut self, view: &AdvView<'_, AeToEProcess>, rng: &mut SimRng) -> AdvAction<AeMsg> {
         let mut action = AdvAction::none();
         if view.round() == 0 {
             action.corrupt = (0..self.count.min(view.n())).map(ProcId::new).collect();
@@ -328,6 +353,19 @@ mod tests {
             "agreement {} under WinnerHunter",
             out.agreement_fraction
         );
+    }
+
+    #[test]
+    fn spread_targets_are_distinct_even_when_seven_divides_n() {
+        // A fixed stride of 7 used to collapse to n/gcd(7, n) ids.
+        for n in [63usize, 70, 77, 128] {
+            for k in [n / 3, n / 2] {
+                let targets = super::spread_targets(k, n);
+                let distinct: std::collections::HashSet<usize> = targets.iter().copied().collect();
+                assert_eq!(distinct.len(), k, "n={n} k={k}: {targets:?}");
+                assert!(targets.iter().all(|&t| t < n));
+            }
+        }
     }
 
     #[test]

@@ -104,7 +104,11 @@ impl CandidateArray {
     /// not-yet-consumed blocks).
     pub fn words_from_level(&self, level: usize) -> usize {
         let skip = level.saturating_sub(2).min(self.blocks.len());
-        self.blocks[skip..].iter().map(Block::word_count).sum::<usize>() + self.extra.len()
+        self.blocks[skip..]
+            .iter()
+            .map(Block::word_count)
+            .sum::<usize>()
+            + self.extra.len()
     }
 
     /// Wire size in bits of the whole array.

@@ -168,8 +168,7 @@ impl CommProcess {
         for e in inbox {
             if let CommMsg::Shares(ps) = &e.payload {
                 for p in ps {
-                    self.origin
-                        .insert((p.word, p.path.clone()), e.from);
+                    self.origin.insert((p.word, p.path.clone()), e.from);
                     self.held.push(p.clone());
                 }
             }
@@ -179,7 +178,9 @@ impl CommProcess {
     /// `sendSecretUp`: re-share everything held with the uplink neighbors
     /// in the parent committee, then erase.
     fn hop_up(&mut self, ctx: &mut RoundCtx<'_, CommMsg>, level: usize) {
-        let Some(mi) = self.role_at(level) else { return };
+        let Some(mi) = self.role_at(level) else {
+            return;
+        };
         let at = self.spec.node_at(level);
         let parent = self.spec.node_at(level + 1);
         let ups: Vec<u32> = self.spec.tree.uplinks(at, mi).to_vec();
@@ -271,9 +272,7 @@ impl CommProcess {
             // receiver enforces the (publicly known) threshold of the
             // sharing that produced these sub-shares — the uplink fan of
             // the level the parent share lives at.
-            let fan = params
-                .uplink_degree
-                .min(params.node_size(path.len() + 1));
+            let fan = params.uplink_degree.min(params.node_size(path.len() + 1));
             if shares.len() <= shamir::threshold_for(fan) {
                 continue;
             }
@@ -315,16 +314,16 @@ impl CommProcess {
         let at = self.spec.node_at(self.spec.open_level);
         let members = self.spec.tree.members(at);
         let words = self.spec.secret.len();
-        let leaves: std::collections::HashSet<u32> =
-            self.held.iter().map(|p| p.node).collect();
+        let leaves: std::collections::HashSet<u32> = self.held.iter().map(|p| p.node).collect();
         for leaf in leaves {
-            if self
-                .role_in(NodeAddr::new(1, leaf as usize))
-                .is_none()
-            {
+            if self.role_in(NodeAddr::new(1, leaf as usize)).is_none() {
                 continue;
             }
-            let k1 = self.spec.tree.members(NodeAddr::new(1, leaf as usize)).len();
+            let k1 = self
+                .spec
+                .tree
+                .members(NodeAddr::new(1, leaf as usize))
+                .len();
             let mut opened = Vec::with_capacity(words);
             for w in 0..words as u16 {
                 let mut shares: Vec<Share> = self
@@ -433,8 +432,7 @@ impl Process for CommProcess {
                 let t = shamir::threshold_for(k);
                 let mut per_member: Vec<Vec<Packet>> = vec![Vec::new(); k];
                 for (w, &word) in self.spec.secret.iter().enumerate() {
-                    let shares =
-                        shamir::share(word, k, t, ctx.rng()).expect("leaf committee size");
+                    let shares = shamir::share(word, k, t, ctx.rng()).expect("leaf committee size");
                     for (j, s) in shares.into_iter().enumerate() {
                         per_member[j].push(Packet {
                             word: w as u16,
@@ -508,11 +506,7 @@ mod tests {
         })
     }
 
-    fn run_reveal(
-        spec: Arc<RevealSpec>,
-        n: usize,
-        crash: usize,
-    ) -> ba_sim::RunOutcome<Vec<u16>> {
+    fn run_reveal(spec: Arc<RevealSpec>, n: usize, crash: usize) -> ba_sim::RunOutcome<Vec<u16>> {
         let rounds = spec.total_rounds();
         let sim = SimBuilder::new(n).seed(3).max_corruptions(crash);
         if crash == 0 {
@@ -521,8 +515,7 @@ mod tests {
         } else {
             // Crash processors *not* on the dealer's committees' critical
             // prefix: pick high ids to keep the test deterministic-ish.
-            let targets: Vec<ProcId> =
-                (0..crash).map(|i| ProcId::new(n - 1 - i)).collect();
+            let targets: Vec<ProcId> = (0..crash).map(|i| ProcId::new(n - 1 - i)).collect();
             sim.build(
                 |p, _| CommProcess::new(spec.clone(), p),
                 StaticAdversary::new(targets),
@@ -531,10 +524,7 @@ mod tests {
         }
     }
 
-    fn openers_learned(
-        spec: &RevealSpec,
-        out: &ba_sim::RunOutcome<Vec<u16>>,
-    ) -> (usize, usize) {
+    fn openers_learned(spec: &RevealSpec, out: &ba_sim::RunOutcome<Vec<u16>>) -> (usize, usize) {
         let want: Vec<u16> = spec.secret.iter().map(|w| w.raw()).collect();
         let at = spec.node_at(spec.open_level);
         let mut learned = 0;
@@ -558,7 +548,10 @@ mod tests {
         let spec = spec(n, 2, 1);
         let out = run_reveal(spec.clone(), n, 0);
         let (learned, total) = openers_learned(&spec, &out);
-        assert_eq!(learned, total, "{learned}/{total} openers learned the secret");
+        assert_eq!(
+            learned, total,
+            "{learned}/{total} openers learned the secret"
+        );
     }
 
     #[test]
@@ -638,7 +631,11 @@ mod tests {
         assert_eq!(CommMsg::Shares(vec![p1]).bit_len(), 48);
         assert_eq!(CommMsg::Shares(vec![p2]).bit_len(), 64);
         assert_eq!(
-            CommMsg::Open { leaf: 0, words: vec![1, 2, 3] }.bit_len(),
+            CommMsg::Open {
+                leaf: 0,
+                words: vec![1, 2, 3]
+            }
+            .bit_len(),
             64
         );
     }

@@ -137,8 +137,9 @@ mod tests {
             let r_cands = rng.gen_range(4..40);
             let bins = rng.gen_range(2..6);
             let target = rng.gen_range(1..=r_cands / 2);
-            let choices: Vec<u16> =
-                (0..r_cands).map(|_| rng.gen_range(0..bins as u16)).collect();
+            let choices: Vec<u16> = (0..r_cands)
+                .map(|_| rng.gen_range(0..bins as u16))
+                .collect();
             let res = lightest_bin(&choices, bins, target);
             assert_eq!(res.winners.len(), target);
             // Winners are distinct and in range.

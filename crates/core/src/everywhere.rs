@@ -15,8 +15,9 @@
 
 use crate::ae_to_e::{AeMsg, AeToEConfig, AeToEOutcome, AeToEProcess};
 use crate::coin::CoinSequence;
-use crate::tournament::{self, TournamentConfig, TournamentOutcome, TreeAdversary};
-use ba_sim::{Adversary, BitStats, Lockstep, ProcId, SimBuilder, Transport};
+use crate::scale::{impl_scale_builders, StackParams};
+use crate::tournament::{self, TourMsg, TournamentConfig, TournamentOutcome, TreeAdversary};
+use ba_sim::{Adversary, BitStats, Envelope, Lockstep, Payload, ProcId, SimBuilder, Transport};
 
 /// Configuration for the full Algorithm 4 stack.
 #[derive(Clone, Debug)]
@@ -30,22 +31,109 @@ pub struct EverywhereConfig {
 }
 
 impl EverywhereConfig {
-    /// Paper-shaped defaults for `n` processors.
-    pub fn for_n(n: usize) -> Self {
-        let tournament = TournamentConfig::for_n(n);
+    /// Paper-shaped defaults for `n` processors at `sp.seed`.
+    pub fn from_params(sp: &StackParams) -> Self {
+        let tournament = TournamentConfig::from_params(sp);
         let eps = tournament.params.eps;
         EverywhereConfig {
             tournament,
-            ae: AeToEConfig::for_n(n, eps),
-            sim_seed: 1,
+            ae: AeToEConfig::for_n(sp.n, eps),
+            sim_seed: if sp.seed == 0 { 1 } else { sp.engine_seed() },
         }
     }
 
-    /// Overrides both phase seeds at once.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.tournament.seed = seed;
-        self.sim_seed = seed ^ 0x5151_5151;
-        self
+    fn apply_seed(&mut self, seed: u64) {
+        let sp = StackParams {
+            n: self.tournament.params.n,
+            seed,
+        };
+        self.tournament.seed = sp.tournament_seed();
+        self.sim_seed = sp.engine_seed();
+    }
+}
+
+impl_scale_builders!(EverywhereConfig);
+
+/// The message type of the full stack over one shared [`Transport`]:
+/// phase-1 committee traffic and phase-2 Algorithm-3 traffic flow
+/// through the *same* transport object, on one continuous round
+/// timeline, so a partition that opens during the tournament and heals
+/// during Algorithm 3 cuts both phases exactly where it should.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackMsg {
+    /// Tournament committee traffic (phase 1).
+    Tour(TourMsg),
+    /// Algorithm-3 traffic (phase 2).
+    Ae(AeMsg),
+}
+
+impl Payload for StackMsg {
+    fn bit_len(&self) -> u64 {
+        match self {
+            StackMsg::Tour(m) => m.bit_len(),
+            StackMsg::Ae(m) => m.bit_len(),
+        }
+    }
+}
+
+/// Projects a `Transport<StackMsg>` down to the tournament's message
+/// type for phase 1.
+struct TourLens<'a, Tr: ?Sized>(&'a mut Tr);
+
+impl<Tr: Transport<StackMsg> + ?Sized> Transport<TourMsg> for TourLens<'_, Tr> {
+    fn send(&mut self, round: usize, env: Envelope<TourMsg>) {
+        self.0.send(
+            round,
+            Envelope::new(env.from, env.to, StackMsg::Tour(env.payload)),
+        );
+    }
+
+    fn collect(&mut self, round: usize, deliver: &mut dyn FnMut(Envelope<TourMsg>)) {
+        self.0.collect(round, &mut |e| {
+            if let StackMsg::Tour(m) = e.payload {
+                deliver(Envelope::new(e.from, e.to, m));
+            }
+        });
+    }
+
+    fn is_online(&self, round: usize, p: ProcId) -> bool {
+        self.0.is_online(round, p)
+    }
+
+    fn is_faulty(&self, round: usize, p: ProcId) -> bool {
+        self.0.is_faulty(round, p)
+    }
+}
+
+/// Projects a `Transport<StackMsg>` down to Algorithm 3's message type
+/// for phase 2, continuing the round timeline where phase 1 stopped.
+struct AeLens<Tr> {
+    inner: Tr,
+    base: usize,
+}
+
+impl<Tr: Transport<StackMsg>> Transport<AeMsg> for AeLens<Tr> {
+    fn send(&mut self, round: usize, env: Envelope<AeMsg>) {
+        self.inner.send(
+            self.base + round,
+            Envelope::new(env.from, env.to, StackMsg::Ae(env.payload)),
+        );
+    }
+
+    fn collect(&mut self, round: usize, deliver: &mut dyn FnMut(Envelope<AeMsg>)) {
+        self.inner.collect(self.base + round, &mut |e| {
+            if let StackMsg::Ae(m) = e.payload {
+                deliver(Envelope::new(e.from, e.to, m));
+            }
+        });
+    }
+
+    fn is_online(&self, round: usize, p: ProcId) -> bool {
+        self.inner.is_online(self.base + round, p)
+    }
+
+    fn is_faulty(&self, round: usize, p: ProcId) -> bool {
+        self.inner.is_faulty(self.base + round, p)
     }
 }
 
@@ -109,30 +197,38 @@ where
         ae_adversary,
         Lockstep::default(),
     )
+    .0
 }
 
-/// [`run`] with the message-level phase (Algorithm 3) routed through an
-/// explicit [`Transport`] — latency and fault models from `ba-net` plug
-/// in here. The tournament phase exchanges its messages inside committee
-/// executors rather than over the engine, so the transport governs the
-/// phase that dominates the paper's bit complexity.
+/// [`run`] with **both** phases routed through one explicit
+/// [`Transport`] over [`StackMsg`]: the tournament's committee
+/// exchanges (phase 1) and Algorithm 3's request/response traffic
+/// (phase 2) share the transport object and its round timeline, so
+/// `ba-net` latency and fault models — partitions during elections
+/// included — govern the whole stack. Returns the outcome together with
+/// the transport so callers can read the statistics it accumulated.
 pub fn run_with_transport<T, A, Tr>(
     config: &EverywhereConfig,
     inputs: &[bool],
     tree_adversary: &mut T,
     ae_adversary: A,
-    transport: Tr,
-) -> EverywhereOutcome
+    mut transport: Tr,
+) -> (EverywhereOutcome, Tr)
 where
     T: TreeAdversary,
     A: Adversary<AeToEProcess>,
-    Tr: Transport<AeMsg>,
+    Tr: Transport<StackMsg>,
 {
     let n = config.tournament.params.n;
     assert_eq!(inputs.len(), n, "inputs must cover all processors");
 
-    // ---- Phase 1: Algorithm 2 + §3.5 ----
-    let t_out = tournament::run(&config.tournament, inputs, tree_adversary);
+    // ---- Phase 1: Algorithm 2 + §3.5, over the shared transport ----
+    let t_out = tournament::run_with_transport(
+        &config.tournament,
+        inputs,
+        tree_adversary,
+        &mut TourLens(&mut transport),
+    );
     let coins = CoinSequence::from_tournament(&t_out);
     let m: u64 = u64::from(t_out.decided);
 
@@ -157,7 +253,7 @@ where
         .params
         .corruption_budget()
         .saturating_sub(t_out.corrupt.iter().filter(|&&c| c).count());
-    let sim_outcome = {
+    let (sim_outcome, lens) = {
         let pre_corrupt = t_out.corrupt.clone();
         let sim = SimBuilder::new(n)
             .seed(config.sim_seed)
@@ -171,23 +267,23 @@ where
                     targets: pre_corrupt,
                     inner: ae_adversary,
                 },
-                transport,
+                // Phase 2 continues the transport timeline where the
+                // tournament's routed exchanges stopped.
+                AeLens {
+                    inner: transport,
+                    base: t_out.transport_rounds,
+                },
             );
-        sim.run(rounds + 1)
+        sim.run_parts(rounds + 1)
     };
+    let transport = lens.inner;
 
     let ae = AeToEOutcome::from_outputs(&sim_outcome.outputs, &sim_outcome.corrupt, m);
     let decisions: Vec<Option<bool>> = sim_outcome
         .outputs
         .iter()
         .zip(&sim_outcome.corrupt)
-        .map(|(o, &c)| {
-            if c {
-                None
-            } else {
-                o.map(|v| v != 0)
-            }
-        })
+        .map(|(o, &c)| if c { None } else { o.map(|v| v != 0) })
         .collect();
     let everywhere_agreement = decisions
         .iter()
@@ -197,16 +293,19 @@ where
     let bits_per_proc: Vec<u64> = (0..n)
         .map(|i| t_out.bits_per_proc[i] + sim_outcome.metrics.bits_sent_by(ProcId::new(i)))
         .collect();
-    EverywhereOutcome {
-        valid: t_out.valid,
-        rounds: t_out.rounds + sim_outcome.rounds,
-        corrupt: sim_outcome.corrupt.clone(),
-        tournament: t_out,
-        ae,
-        decisions,
-        everywhere_agreement,
-        bits_per_proc,
-    }
+    (
+        EverywhereOutcome {
+            valid: t_out.valid,
+            rounds: t_out.rounds + sim_outcome.rounds,
+            corrupt: sim_outcome.corrupt.clone(),
+            tournament: t_out,
+            ae,
+            decisions,
+            everywhere_agreement,
+            bits_per_proc,
+        },
+        transport,
+    )
 }
 
 /// Adapter that re-applies phase-1 corruptions at round 0 of phase 2 and
@@ -248,12 +347,7 @@ mod tests {
     fn clean_run_reaches_everywhere_agreement() {
         let n = 64;
         let config = EverywhereConfig::for_n(n).with_seed(3);
-        let out = run(
-            &config,
-            &vec![true; n],
-            &mut NoTreeAdversary,
-            NullAdversary,
-        );
+        let out = run(&config, &vec![true; n], &mut NoTreeAdversary, NullAdversary);
         assert!(out.valid);
         assert!(out.everywhere_agreement, "ae tally: {:?}", out.ae);
         assert_eq!(out.ae.wrong, 0);
@@ -295,12 +389,7 @@ mod tests {
     fn coin_schedule_feeds_labels() {
         let n = 64;
         let config = EverywhereConfig::for_n(n).with_seed(6);
-        let out = run(
-            &config,
-            &vec![true; n],
-            &mut NoTreeAdversary,
-            NullAdversary,
-        );
+        let out = run(&config, &vec![true; n], &mut NoTreeAdversary, NullAdversary);
         // The tournament produced coins, so Algorithm 3 ran on them.
         assert!(!out.tournament.coin_words.is_empty());
         assert!(out.everywhere_agreement);

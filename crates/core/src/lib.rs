@@ -55,6 +55,7 @@ pub mod coin;
 pub mod comm;
 pub mod election;
 pub mod everywhere;
+pub mod scale;
 pub mod tournament;
 pub mod universe;
 
@@ -62,5 +63,6 @@ pub use ae_to_e::{AeToEConfig, AeToEOutcome};
 pub use aeba::{AebaConfig, UnreliableCoin};
 pub use block::{Block, CandidateArray};
 pub use election::ElectionResult;
-pub use everywhere::{EverywhereConfig, EverywhereOutcome};
-pub use tournament::{TournamentConfig, TournamentOutcome};
+pub use everywhere::{EverywhereConfig, EverywhereOutcome, StackMsg};
+pub use scale::StackParams;
+pub use tournament::{TourMsg, TournamentConfig, TournamentOutcome};

@@ -33,10 +33,74 @@
 use crate::aeba::{run_committee, AebaConfig, CommitteeAttack};
 use crate::block::CandidateArray;
 use crate::election::{lightest_bin, ElectionResult};
+use crate::scale::{impl_scale_builders, StackParams};
 use ba_sampler::RegularGraph;
-use ba_sim::{derive_rng, BitStats};
+use ba_sim::{derive_rng, BitStats, Envelope, Lockstep, Payload, ProcId, Transport};
 use ba_topology::{Goodness, NodeAddr, Params, Tree};
 use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// One logical committee-level message of the tournament, routed over
+/// the engine's [`Transport`] seam.
+///
+/// The tournament is a structured executor (see the module docs): most
+/// of its traffic is *priced* through [`CostModel`] rather than
+/// materialized. The exchanges that cross committee boundaries — and
+/// therefore cross network partitions — are materialized as envelopes so
+/// latency and fault models reach elections:
+///
+/// * [`TourMsg::Expose`] — a candidate's declared bin choice traveling
+///   from its owner to a committee member (Alg. 2 step 2(a));
+/// * [`TourMsg::WinnerShare`] — one custodian's sub-share of a winning
+///   array traveling to a parent-committee member (`sendSecretUp`,
+///   step 2(c));
+/// * [`TourMsg::RootCoin`] — the coin word opened for one root-agreement
+///   round, traveling from its supplier to every processor (step 3).
+///
+/// Intra-committee gossip stays in-memory (and CostModel-priced): it
+/// never crosses a partition boundary that the committee's own members
+/// do not already straddle via the exposure exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TourMsg {
+    /// Candidate `cand`'s declared bin choice at `(level, node)`.
+    Expose {
+        /// Tree level of the election.
+        level: u32,
+        /// Node index within the level.
+        node: u32,
+        /// Candidate position within the node's holdings.
+        cand: u32,
+        /// The declared bin.
+        bin: u16,
+    },
+    /// A sub-share of winning array `array` re-shared up from `(level,
+    /// node)` to a parent-committee member.
+    WinnerShare {
+        /// Tree level the winner was elected at.
+        level: u32,
+        /// Node index within the level.
+        node: u32,
+        /// The winning array's id (its owner's processor index).
+        array: u32,
+        /// Words still packed in the array (payload sizing).
+        words: u32,
+    },
+    /// The coin word opened for root-agreement round `j`.
+    RootCoin {
+        /// Root agreement round index.
+        j: u32,
+    },
+}
+
+impl Payload for TourMsg {
+    fn bit_len(&self) -> u64 {
+        match self {
+            TourMsg::Expose { .. } => 16,
+            TourMsg::WinnerShare { words, .. } => 16 * u64::from(*words),
+            TourMsg::RootCoin { .. } => 16,
+        }
+    }
+}
 
 /// Configuration for one tournament execution.
 #[derive(Clone, Debug)]
@@ -55,14 +119,15 @@ pub struct TournamentConfig {
 }
 
 impl TournamentConfig {
-    /// Defaults for `n` processors: practical parameters, exposure noise
-    /// `1/log₂ n`, `⌈log₂ n⌉` extra coin words per finalist.
-    pub fn for_n(n: usize) -> Self {
-        let params = Params::practical(n);
-        let log_n = (n as f64).log2().max(2.0);
+    /// Defaults for `n` processors at `sp.seed`: practical parameters,
+    /// exposure noise `1/log₂ n`, `⌈log₂ n⌉` extra coin words per
+    /// finalist.
+    pub fn from_params(sp: &StackParams) -> Self {
+        let params = Params::practical(sp.n);
+        let log_n = (sp.n as f64).log2().max(2.0);
         TournamentConfig {
             params,
-            seed: 0,
+            seed: sp.tournament_seed(),
             extra_words: log_n.ceil() as usize,
             aeba: AebaConfig::default(),
             // The paper's 1/log n exposure noise at astronomic n; a
@@ -72,12 +137,12 @@ impl TournamentConfig {
         }
     }
 
-    /// Overrides the seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
+    fn apply_seed(&mut self, seed: u64) {
         self.seed = seed;
-        self
     }
 }
+
+impl_scale_builders!(TournamentConfig);
 
 /// Public state handed to a [`TreeAdversary`] between phases.
 pub struct TreeView<'a> {
@@ -126,9 +191,7 @@ pub trait TreeAdversary {
         for c in good_choices.iter().flatten() {
             counts[*c as usize] += 1;
         }
-        (0..num_bins)
-            .min_by_key(|&b| counts[b])
-            .unwrap_or(0) as u16
+        (0..num_bins).min_by_key(|&b| counts[b]).unwrap_or(0) as u16
     }
 
     /// How corrupt members behave inside committee agreements.
@@ -223,6 +286,10 @@ pub struct TournamentOutcome {
     pub corrupt: Vec<bool>,
     /// Per-level tournament statistics.
     pub level_stats: Vec<LevelStats>,
+    /// Transport rounds consumed by the routed committee exchanges (the
+    /// timeline [`ba_net` fault schedules](Transport) act on, and the
+    /// round offset a following engine phase starts at).
+    pub transport_rounds: usize,
 }
 
 impl TournamentOutcome {
@@ -294,7 +361,8 @@ impl CostModel {
     }
 }
 
-/// Runs Algorithm 2 (+§3.5) with the given inputs and adversary.
+/// Runs Algorithm 2 (+§3.5) with the given inputs and adversary on the
+/// paper's synchronous network ([`Lockstep`]).
 ///
 /// `inputs[i]` is processor `i`'s Byzantine-agreement input bit.
 ///
@@ -305,6 +373,37 @@ pub fn run<A: TreeAdversary>(
     config: &TournamentConfig,
     inputs: &[bool],
     adversary: &mut A,
+) -> TournamentOutcome {
+    run_with_transport(config, inputs, adversary, &mut Lockstep::default())
+}
+
+/// [`run`] with the committee-level exchanges routed through an explicit
+/// [`Transport`] — partitions, drops, latency, crash-stop, and churn from
+/// `ba-net` finally reach elections at the tree level.
+///
+/// The routed exchanges consume one transport round each, in a fixed
+/// order: per tree level an exposure exchange then a winner-share
+/// exchange, then one exchange per root-agreement round (the consumed
+/// total is reported as [`TournamentOutcome::transport_rounds`]). Fault
+/// schedules are expressed against this timeline. A member that misses an
+/// exposure treats the candidate's bin declaration as unknown (a blind
+/// guess); a winning array advances only if a strict majority of its
+/// custodian→parent share deliveries arrive; a processor that misses a
+/// root coin opening is thrown onto the adversarial coin for that round;
+/// offline members sit out their committee's election entirely.
+///
+/// With a lossless zero-latency transport every exchange delivers in
+/// full and the run is byte-identical to [`run`] (pinned by the root
+/// `net_equivalence` tests).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != params.n` or parameters are invalid.
+pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
+    config: &TournamentConfig,
+    inputs: &[bool],
+    adversary: &mut A,
+    net: &mut Tr,
 ) -> TournamentOutcome {
     let p = &config.params;
     assert_eq!(inputs.len(), p.n, "inputs must cover all processors");
@@ -319,6 +418,11 @@ pub fn run<A: TreeAdversary>(
     let mut bits = vec![0u64; n];
     let mut rounds = 0usize;
     let mut level_stats: Vec<LevelStats> = Vec::new();
+    // The transport clock: every routed committee exchange sends at the
+    // current round and collects (one round later) what survived the
+    // wire. Distinct from `rounds`, which keeps the paper's §3.6
+    // synchronous-round accounting.
+    let mut net_round = 0usize;
 
     // ---- Phase: Deal -----------------------------------------------------
     // (adversary may pre-corrupt before any secrets exist)
@@ -422,8 +526,7 @@ pub fn run<A: TreeAdversary>(
         // Election-goodness per Definition 3 (2/3 + ε/2).
         let def3 = Goodness::classify(&tree, &corrupt, Goodness::paper_threshold(p.eps));
 
-        let mut next_holdings: Vec<Vec<usize>> =
-            vec![Vec::new(); p.node_count(level + 1)];
+        let mut next_holdings: Vec<Vec<usize>> = vec![Vec::new(); p.node_count(level + 1)];
         let mut agreement_sum = 0.0;
         let mut agreement_count = 0usize;
 
@@ -469,18 +572,60 @@ pub fn run<A: TreeAdversary>(
             plans.push(ElectionPlan { node, declared });
         }
 
+        // -- Routed exchange: each declared bin choice travels from the
+        // candidate's owner to every committee member. What the wire
+        // drops, the member never sees.
+        let mut outbox = Vec::new();
+        for plan in &plans {
+            let at = NodeAddr::new(level, plan.node);
+            let held = &holdings[plan.node];
+            for (ci, _) in held.iter().enumerate() {
+                let owner = arrays[held[ci]].array.owner;
+                for &m in tree.members(at) {
+                    outbox.push((
+                        owner,
+                        m as usize,
+                        TourMsg::Expose {
+                            level: level as u32,
+                            node: plan.node as u32,
+                            cand: ci as u32,
+                            bin: plan.declared[ci],
+                        },
+                    ));
+                }
+            }
+        }
+        let inbox = route(net, &mut net_round, outbox);
+        let mut exposed: HashSet<(usize, usize, usize)> = HashSet::new();
+        for e in &inbox {
+            if let TourMsg::Expose {
+                level: l,
+                node,
+                cand,
+                ..
+            } = e.payload
+            {
+                if l as usize == level {
+                    exposed.insert((node as usize, cand as usize, e.to.index()));
+                }
+            }
+        }
+        let online: Vec<bool> = (0..n)
+            .map(|i| net.is_online(net_round, ProcId::new(i)))
+            .collect();
+
         // -- Parallel phase: per-committee agreement + election.
         let outcomes: Vec<ElectionOutcome> = ba_par::par_map(&plans, |plan| {
             run_node_election(
-                plan, level, num_bins, attack, &tree, &holdings, &arrays, &corrupt, &def3,
-                &cost, config,
+                plan, level, num_bins, attack, &tree, &holdings, &arrays, &corrupt, &def3, &cost,
+                config, &exposed, &online,
             )
         });
 
-        // -- Merge in node order: charges, stats, winners, liveness.
+        // -- Merge in node order: charges, stats, elected winners.
+        let mut elected: Vec<(usize, usize)> = Vec::new();
         for (plan, out) in plans.iter().zip(&outcomes) {
             let held = &holdings[plan.node];
-            let at = NodeAddr::new(level, plan.node);
             stats.elections += 1;
             stats.candidates += held.len();
             stats.good_candidates += held
@@ -500,19 +645,66 @@ pub fn run<A: TreeAdversary>(
             if out.bad_election {
                 stats.bad_elections += 1;
             }
-            let parent = tree.parent(at);
             for &wi in &out.winners {
-                let aid = held[wi];
-                stats.winners += 1;
-                if !arrays[aid].bad && !arrays[aid].compromised {
-                    stats.good_winners += 1;
-                }
-                next_holdings[parent.index].push(aid);
+                elected.push((plan.node, held[wi]));
             }
             for (i, &aid) in held.iter().enumerate() {
                 if !out.winners.contains(&i) {
                     arrays[aid].alive = false;
                 }
+            }
+        }
+
+        // -- Routed exchange: winner shares travel up one level
+        // (`sendSecretUp`). Every current custodian sends a sub-share to
+        // every parent-committee member; the array advances only if a
+        // strict majority of those deliveries arrive, otherwise its
+        // shares are lost on the wire and it drops out.
+        let mut outbox = Vec::new();
+        let mut expected: Vec<(usize, usize, usize)> = Vec::new();
+        for &(node, aid) in &elected {
+            let at = NodeAddr::new(level, node);
+            let senders = tree.members(at);
+            let recips = tree.members(tree.parent(at));
+            let words = arrays[aid].array.words_from_level(level + 1) as u32;
+            for &s in senders {
+                for &t in recips {
+                    outbox.push((
+                        s as usize,
+                        t as usize,
+                        TourMsg::WinnerShare {
+                            level: level as u32,
+                            node: node as u32,
+                            array: aid as u32,
+                            words,
+                        },
+                    ));
+                }
+            }
+            expected.push((node, aid, senders.len() * recips.len()));
+        }
+        let inbox = route(net, &mut net_round, outbox);
+        let mut received: HashMap<usize, usize> = HashMap::new();
+        for e in &inbox {
+            if let TourMsg::WinnerShare {
+                level: l, array, ..
+            } = e.payload
+            {
+                if l as usize == level {
+                    *received.entry(array as usize).or_insert(0) += 1;
+                }
+            }
+        }
+        for &(node, aid, pairs) in &expected {
+            if 2 * received.get(&aid).copied().unwrap_or(0) > pairs {
+                stats.winners += 1;
+                if !arrays[aid].bad && !arrays[aid].compromised {
+                    stats.good_winners += 1;
+                }
+                let parent = tree.parent(NodeAddr::new(level, node));
+                next_holdings[parent.index].push(aid);
+            } else {
+                arrays[aid].alive = false;
             }
         }
 
@@ -566,19 +758,58 @@ pub fn run<A: TreeAdversary>(
     let mut grng = derive_rng(config.seed, 0x6007);
     let degree = p.aeba_degree.min(n - 1).max(1);
     let graph = RegularGraph::random_out_degree(n, degree, &mut grng);
-    let member_good: Vec<bool> = (0..n).map(|i| !corrupt[i]).collect();
-    let good_inputs: Vec<bool> = inputs.to_vec();
     let root_rounds = finalists.len().max(config.aeba.rounds).max(8);
+
+    // -- Routed exchange: one coin opening per root-agreement round,
+    // from the round's supplier to every processor. A processor the wire
+    // fails lands on the adversarial coin for that round; a processor
+    // offline for a majority of the window sits the root agreement out.
+    let mut coin_recv = vec![false; root_rounds * n];
+    let mut offline_rounds = vec![0usize; n];
+    for j in 0..root_rounds {
+        let mut outbox = Vec::new();
+        if !finalists.is_empty() {
+            let owner = arrays[finalists[j % finalists.len()]].array.owner;
+            for m in 0..n {
+                outbox.push((owner, m, TourMsg::RootCoin { j: j as u32 }));
+            }
+        }
+        let inbox = route(net, &mut net_round, outbox);
+        for e in &inbox {
+            if let TourMsg::RootCoin { j: jj } = e.payload {
+                // Count only on-time openings: a word arriving after its
+                // agreement round is useless to the voter.
+                if jj as usize == j {
+                    coin_recv[j * n + e.to.index()] = true;
+                }
+            }
+        }
+        for (m, miss) in offline_rounds.iter_mut().enumerate() {
+            if !net.is_online(net_round, ProcId::new(m)) {
+                *miss += 1;
+            }
+        }
+    }
+
+    let member_good: Vec<bool> = (0..n)
+        .map(|i| !corrupt[i] && 2 * offline_rounds[i] <= root_rounds)
+        .collect();
+    let good_inputs: Vec<bool> = inputs.to_vec();
+    // The bit the adversarial fallback coin fights: the majority input
+    // among non-corrupt processors. Numerator and denominator use the
+    // same population on purpose — the offline filter above must not
+    // skew which bit counts as "the good majority".
     let good_majority_input = {
         let ones = (0..n).filter(|&i| !corrupt[i] && inputs[i]).count();
-        2 * ones >= member_good.iter().filter(|&&g| g).count()
+        let good = (0..n).filter(|&i| !corrupt[i]).count();
+        2 * ones >= good
     };
     let coin_view = |m: usize, j: usize| -> bool {
         if finalists.is_empty() {
             return false;
         }
         let st = &arrays[finalists[j % finalists.len()]];
-        if !st.bad && !st.compromised {
+        if !st.bad && !st.compromised && coin_recv[j * n + m] {
             let block = st.array.blocks.last().expect("arrays have blocks");
             // Round j draws supplier j mod f and that supplier's next
             // unopened word, so successive rounds never reuse a word.
@@ -634,7 +865,11 @@ pub fn run<A: TreeAdversary>(
     let good_total = member_good.iter().filter(|&&g| g).count().max(1);
     let ones = decisions.iter().flatten().filter(|&&b| b).count();
     let decided = 2 * ones >= good_total;
-    let agreeing = decisions.iter().flatten().filter(|&&b| b == decided).count();
+    let agreeing = decisions
+        .iter()
+        .flatten()
+        .filter(|&&b| b == decided)
+        .count();
     let valid = (0..n).any(|i| !corrupt[i] && inputs[i] == decided);
     TournamentOutcome {
         decisions,
@@ -646,7 +881,35 @@ pub fn run<A: TreeAdversary>(
         bits_per_proc: bits,
         corrupt,
         level_stats,
+        transport_rounds: net_round,
     }
+}
+
+/// Runs one committee exchange over the transport: all of `outbox`
+/// leaves in the current transport round (senders that are offline say
+/// nothing), the clock advances, and whatever the wire delivers to an
+/// online recipient by the new round is returned. Late traffic from
+/// earlier exchanges surfaces here too — callers filter by the message
+/// keys they are waiting for, so stale deliveries fall on the floor
+/// exactly as they would in a round-based protocol.
+fn route<Tr: Transport<TourMsg> + ?Sized>(
+    net: &mut Tr,
+    net_round: &mut usize,
+    outbox: Vec<(usize, usize, TourMsg)>,
+) -> Vec<Envelope<TourMsg>> {
+    let r = *net_round;
+    for (from, to, msg) in outbox {
+        let from = ProcId::new(from);
+        if net.is_online(r, from) {
+            net.send(r, Envelope::new(from, ProcId::new(to), msg));
+        }
+    }
+    *net_round += 1;
+    let nr = *net_round;
+    let mut got = Vec::new();
+    net.collect(nr, &mut |e| got.push(e));
+    got.retain(|e| net.is_online(nr, e.to));
+    got
 }
 
 /// Internal per-array protocol state.
@@ -690,6 +953,11 @@ struct ElectionOutcome {
 /// respect to executor state: reads shares/corruption/goodness, draws
 /// randomness only from streams derived from `(seed, level, node, …)`,
 /// and reports all side effects through the returned [`ElectionOutcome`].
+///
+/// `exposed` holds the `(node, candidate, processor)` exposure receipts
+/// that survived the routed exchange; `online` flags the processors that
+/// were up at its delivery round. Offline members sit the election out
+/// entirely — they cast no votes, pay no bits, and shrink the committee.
 #[allow(clippy::too_many_arguments)]
 fn run_node_election(
     plan: &ElectionPlan,
@@ -703,14 +971,35 @@ fn run_node_election(
     def3: &Goodness,
     cost: &CostModel,
     config: &TournamentConfig,
+    exposed: &HashSet<(usize, usize, usize)>,
+    online: &[bool],
 ) -> ElectionOutcome {
     let p = &config.params;
     let node = plan.node;
     let held = &holdings[node];
     let at = NodeAddr::new(level, node);
     let r_cands = held.len();
-    let members = tree.members(at);
+    let members: Vec<u32> = tree
+        .members(at)
+        .iter()
+        .copied()
+        .filter(|&m| online[m as usize])
+        .collect();
     let k = members.len();
+    if k < 2 {
+        // The committee is (all but) gone — churned or crashed out. No
+        // agreement can run; every candidate it held dies with it.
+        return ElectionOutcome {
+            charges: Vec::new(),
+            expose_bits: 0,
+            agree_bits: 0,
+            winner_bits: 0,
+            agreement_sum: 0.0,
+            agreement_count: 0,
+            bad_election: true,
+            winners: Vec::new(),
+        };
+    }
     let member_good: Vec<bool> = members.iter().map(|&m| !corrupt[m as usize]).collect();
     let node_good = def3.is_good(at);
     let path_frac = def3.good_path_fraction(tree, at);
@@ -746,26 +1035,29 @@ fn run_node_election(
     // Coin schedule per agreement round j: supplied by candidate
     // j (mod r); genuine iff that array is good and hidden.
     let coin_rounds = r_cands.max(4);
-    agree_bits +=
-        charge_expose_sink(tree, at, (coin_rounds * r_cands) as u64, cost, &mut charges);
+    agree_bits += charge_expose_sink(tree, at, (coin_rounds * r_cands) as u64, cost, &mut charges);
     let mut agreement_sum = 0.0;
     let mut agreement_count = 0usize;
     for ci in 0..r_cands {
         let mut word = 0u16;
         for bit in 0..bin_bits {
             let truth = (plan.declared[ci] >> bit) & 1 == 1;
-            // Member input views: exposure noise blinds a few.
+            // Member input views: a member whose exposure delivery was
+            // lost on the wire never saw the declaration; among the rest,
+            // exposure noise blinds a few.
             let inputs: Vec<bool> = (0..k)
                 .map(|m| {
                     let mut vrng = derive_rng(
                         config.seed,
-                        0xE44E ^ ((level as u64) << 40)
+                        0xE44E
+                            ^ ((level as u64) << 40)
                             ^ ((node as u64) << 24)
                             ^ ((ci as u64) << 12)
                             ^ ((bit as u64) << 8)
                             ^ m as u64,
                     );
-                    if path_frac > 0.5
+                    if exposed.contains(&(node, ci, members[m] as usize))
+                        && path_frac > 0.5
                         && !vrng.gen_bool(config.exposure_blindness.clamp(0.0, 0.49))
                     {
                         truth

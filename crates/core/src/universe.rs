@@ -61,12 +61,8 @@ impl Representativeness {
     /// Panics if the committee is empty or indexes out of range.
     pub fn measure(committee: &[u16], corrupt: &[bool]) -> Self {
         assert!(!committee.is_empty(), "cannot measure an empty committee");
-        let population_bad =
-            corrupt.iter().filter(|&&c| c).count() as f64 / corrupt.len() as f64;
-        let committee_bad = committee
-            .iter()
-            .filter(|&&m| corrupt[m as usize])
-            .count() as f64
+        let population_bad = corrupt.iter().filter(|&&c| c).count() as f64 / corrupt.len() as f64;
+        let committee_bad = committee.iter().filter(|&&m| corrupt[m as usize]).count() as f64
             / committee.len() as f64;
         Representativeness {
             population_bad,

@@ -48,7 +48,10 @@ impl fmt::Display for CryptoError {
                 write!(f, "duplicate share index x={x:#06x}")
             }
             CryptoError::LengthMismatch { expected, actual } => {
-                write!(f, "share length mismatch: expected {expected} words, got {actual}")
+                write!(
+                    f,
+                    "share length mismatch: expected {expected} words, got {actual}"
+                )
             }
         }
     }
@@ -69,7 +72,10 @@ mod tests {
         assert!(e.to_string().contains("n=0"));
         let e = CryptoError::DuplicateShareIndex { x: 0xab };
         assert!(e.to_string().contains("0x00ab"));
-        let e = CryptoError::LengthMismatch { expected: 3, actual: 1 };
+        let e = CryptoError::LengthMismatch {
+            expected: 3,
+            actual: 1,
+        };
         assert!(e.to_string().contains("expected 3"));
     }
 

@@ -274,8 +274,7 @@ mod tests {
     #[test]
     fn single_layer_behaves_like_plain_shamir() {
         let mut rng = rng(1);
-        let tree =
-            ShareTree::deal(Gf16::new(0xCAFE), &[Layer::majority(5)], &mut rng).unwrap();
+        let tree = ShareTree::deal(Gf16::new(0xCAFE), &[Layer::majority(5)], &mut rng).unwrap();
         assert_eq!(tree.depth(), 1);
         assert_eq!(tree.leaf_count(), 5);
         // Majority threshold t=2: 3 holders suffice.
@@ -291,12 +290,8 @@ mod tests {
     fn two_layers_roundtrip_and_thresholds() {
         let mut rng = rng(2);
         let secret = Gf16::new(0x0FF1);
-        let tree = ShareTree::deal(
-            secret,
-            &[Layer::majority(4), Layer::majority(6)],
-            &mut rng,
-        )
-        .unwrap();
+        let tree =
+            ShareTree::deal(secret, &[Layer::majority(4), Layer::majority(6)], &mut rng).unwrap();
         assert_eq!(tree.depth(), 2);
         assert_eq!(tree.leaf_count(), 24);
         assert_eq!(tree.leaf_paths().len(), 24);
@@ -368,7 +363,10 @@ mod tests {
         // hard failure (0 shares) and the wrong-value case.
         assert!(reassemble_layer(parent.x, &[]).is_err());
         let under = reassemble_layer(parent.x, &children[..2]).unwrap();
-        assert_ne!(under, parent, "2-of-5 majority sharing cannot determine value");
+        assert_ne!(
+            under, parent,
+            "2-of-5 majority sharing cannot determine value"
+        );
     }
 
     mod properties {

@@ -63,9 +63,7 @@ impl Poly {
 
     /// Degree, or `None` for the zero polynomial.
     pub fn degree(&self) -> Option<usize> {
-        self.coeffs
-            .iter()
-            .rposition(|c| !c.is_zero())
+        self.coeffs.iter().rposition(|c| !c.is_zero())
     }
 
     /// The coefficients, lowest first (may carry trailing zeros if built

@@ -103,11 +103,7 @@ pub fn share_words<R: Rng + ?Sized>(
 pub fn reconstruct(shares: &[Share]) -> Result<Gf16, CryptoError> {
     let xs: Vec<Gf16> = shares.iter().map(|s| s.x).collect();
     let weights = lagrange_weights_at_zero(&xs)?;
-    Ok(shares
-        .iter()
-        .zip(&weights)
-        .map(|(s, &w)| s.y * w)
-        .sum())
+    Ok(shares.iter().zip(&weights).map(|(s, &w)| s.y * w).sum())
 }
 
 /// The Lagrange basis weights at `x = 0` for evaluation points `xs`:
@@ -191,9 +187,7 @@ pub fn reconstruct_words(holders: &[Vec<Share>]) -> Result<Vec<Gf16>, CryptoErro
         return Ok(Vec::new());
     }
     // Fast path: each holder's shares sit at a single evaluation point.
-    let uniform = holders
-        .iter()
-        .all(|h| h.iter().all(|s| s.x == h[0].x));
+    let uniform = holders.iter().all(|h| h.iter().all(|s| s.x == h[0].x));
     if uniform {
         let xs: Vec<Gf16> = holders.iter().map(|h| h[0].x).collect();
         let weights = lagrange_weights_at_zero(&xs)?;
@@ -264,7 +258,11 @@ mod tests {
             seen.insert(shares[0].y.raw());
         }
         // 512 draws over 2^16 values: collisions are rare; expect >480 distinct.
-        assert!(seen.len() > 480, "only {} distinct share values", seen.len());
+        assert!(
+            seen.len() > 480,
+            "only {} distinct share values",
+            seen.len()
+        );
     }
 
     #[test]
@@ -325,7 +323,10 @@ mod tests {
         holders[1].pop();
         assert_eq!(
             reconstruct_words(&holders).unwrap_err(),
-            CryptoError::LengthMismatch { expected: 2, actual: 1 }
+            CryptoError::LengthMismatch {
+                expected: 2,
+                actual: 1
+            }
         );
     }
 
@@ -391,7 +392,9 @@ mod tests {
     #[test]
     fn reconstruct_words_fast_path_matches_columns() {
         let mut rng = rng();
-        let words: Vec<Gf16> = (0..16u16).map(|i| Gf16::new(i.wrapping_mul(0x1357))).collect();
+        let words: Vec<Gf16> = (0..16u16)
+            .map(|i| Gf16::new(i.wrapping_mul(0x1357)))
+            .collect();
         let holders = share_words(&words, 9, 4, &mut rng).unwrap();
         let direct: Vec<Gf16> = (0..words.len())
             .map(|w| {
@@ -414,7 +417,10 @@ mod tests {
             })
             .collect();
         assert_eq!(reconstruct_words(&mixed).unwrap(), expect);
-        assert_eq!(expect, words, "a swap permutes a column but keeps its points");
+        assert_eq!(
+            expect, words,
+            "a swap permutes a column but keeps its points"
+        );
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! The experiment harness: sections, rows, fixed-width tables, the
+//! shared `--json`/`--trials` CLI, and JSON row emission — everything
+//! the `exp_*` binaries used to hand-roll, once.
+//!
+//! An [`Experiment`] executes eagerly: declaring a case runs it (trial
+//! fan-out included) and prints its table row immediately, so a binary
+//! reads top-to-bottom exactly like its output. `finish()` writes the
+//! collected JSON rows when `--json PATH` was passed.
+
+use crate::runner::{run, RunReport, TrialOutcome};
+use crate::spec::RunSpec;
+use crate::stats::{mean, par_trials, Table};
+
+/// A named aggregate metric over a [`RunReport`], for table columns and
+/// JSON fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Mean plurality-agreement fraction.
+    Agreement,
+    /// Minimum plurality-agreement fraction over trials.
+    AgreementMin,
+    /// Mean decided fraction.
+    Decided,
+    /// Fraction of trials with a valid outcome.
+    Valid,
+    /// Mean wrong-decision count.
+    Wrong,
+    /// Mean rounds.
+    Rounds,
+    /// Mean max-bits-per-good-processor.
+    BitsMax,
+    /// Mean mean-bits-per-good-processor.
+    BitsMean,
+    /// Mean total bits.
+    TotalBits,
+    /// Mean good fraction of the coin subsequence.
+    CoinGoodFrac,
+    /// Mean length of the coin subsequence.
+    CoinLen,
+    /// Mean tournament-phase rounds.
+    TournamentRounds,
+    /// Mean max-bits of the Algorithm-3 phase alone.
+    AeBitsMax,
+    /// Network loss rate over all trials.
+    LossRate,
+    /// Network late rate over all trials.
+    LateRate,
+}
+
+impl Metric {
+    /// The column/JSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Agreement => "agreement",
+            Metric::AgreementMin => "agree_min",
+            Metric::Decided => "decided",
+            Metric::Valid => "valid",
+            Metric::Wrong => "wrong",
+            Metric::Rounds => "rounds",
+            Metric::BitsMax => "max_bits",
+            Metric::BitsMean => "mean_bits",
+            Metric::TotalBits => "total_bits",
+            Metric::CoinGoodFrac => "coin_good",
+            Metric::CoinLen => "coin_len",
+            Metric::TournamentRounds => "ae_rounds",
+            Metric::AeBitsMax => "ae2e_bits",
+            Metric::LossRate => "loss",
+            Metric::LateRate => "late",
+        }
+    }
+
+    /// Evaluates the metric over a report.
+    pub fn eval(&self, report: &RunReport) -> f64 {
+        let coin = |t: &TrialOutcome, f: &dyn Fn(&ba_core::coin::CoinSequence) -> f64| {
+            t.coins.as_ref().map_or(0.0, f)
+        };
+        match self {
+            Metric::Agreement => report.mean_of(|t| t.agreement),
+            Metric::AgreementMin => report.min_of(|t| t.agreement),
+            Metric::Decided => report.mean_of(|t| t.decided),
+            Metric::Valid => report.frac_of(|t| t.valid.unwrap_or(false)),
+            Metric::Wrong => report.mean_of(|t| t.wrong as f64),
+            Metric::Rounds => report.mean_of(|t| t.rounds as f64),
+            Metric::BitsMax => report.mean_of(|t| t.bits.max as f64),
+            Metric::BitsMean => report.mean_of(|t| t.bits.mean),
+            Metric::TotalBits => report.mean_of(|t| t.total_bits as f64),
+            Metric::CoinGoodFrac => report.mean_of(|t| coin(t, &|c| c.good_fraction())),
+            Metric::CoinLen => report.mean_of(|t| coin(t, &|c| c.len() as f64)),
+            Metric::TournamentRounds => report.mean_of(|t| t.tournament_rounds.unwrap_or(0) as f64),
+            Metric::AeBitsMax => {
+                report.mean_of(|t| t.ae_bits.as_ref().map_or(0.0, |b| b.max as f64))
+            }
+            Metric::LossRate => report.net_sum().loss_rate(),
+            Metric::LateRate => report.net_sum().late_rate(),
+        }
+    }
+
+    /// Formats a value of this metric for a table cell.
+    pub fn format(&self, v: f64) -> String {
+        match self {
+            Metric::Rounds
+            | Metric::BitsMax
+            | Metric::BitsMean
+            | Metric::TotalBits
+            | Metric::CoinLen
+            | Metric::TournamentRounds
+            | Metric::AeBitsMax => format!("{v:.0}"),
+            _ => format!("{v:.3}"),
+        }
+    }
+}
+
+/// One experiment binary's harness: CLI, sections, tables, JSON.
+#[derive(Debug)]
+pub struct Experiment {
+    name: String,
+    json_out: Option<String>,
+    trials_override: Option<u64>,
+    section: String,
+    columns: Vec<String>,
+    table: Option<Table>,
+    rows: Vec<String>,
+    finished: bool,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Formats an f64 as a JSON number (finite; NaN/inf become 0).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+impl Experiment {
+    /// Creates the harness, parses the shared CLI (`--json PATH` to emit
+    /// machine-readable rows, `--trials N` to override every spec's
+    /// trial count), and prints the title.
+    pub fn new(name: &str, title: &str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut json_out = None;
+        let mut trials_override = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--json" => match it.next() {
+                    Some(p) => json_out = Some(p.clone()),
+                    None => {
+                        eprintln!("--json needs a path");
+                        std::process::exit(2);
+                    }
+                },
+                "--trials" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(t) if t > 0 => trials_override = Some(t),
+                    _ => {
+                        eprintln!("--trials needs a positive count");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!("unknown argument `{other}` (accepted: --json PATH, --trials N)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        println!("{name}: {title}\n");
+        Experiment {
+            name: name.to_owned(),
+            json_out,
+            trials_override,
+            section: String::new(),
+            columns: Vec::new(),
+            table: None,
+            rows: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Starts a new table section with the given columns.
+    pub fn section(&mut self, title: &str, columns: &[&str]) {
+        if self.table.is_some() {
+            println!();
+        }
+        println!("{title}\n");
+        self.section = title.to_owned();
+        self.columns = columns.iter().map(|c| (*c).to_owned()).collect();
+        self.table = Some(Table::header(columns));
+    }
+
+    /// Runs a spec (honoring `--trials`): the one trial loop behind
+    /// every case.
+    pub fn run(&self, spec: &RunSpec) -> RunReport {
+        let mut spec = spec.clone();
+        if let Some(t) = self.trials_override {
+            spec.trials = t;
+        }
+        match run(&spec) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Runs `spec` and prints one row: `labels`, then the metric values
+    /// in order. Returns the report for follow-up computation (slopes,
+    /// drill-down rows).
+    pub fn case(&mut self, labels: &[String], spec: &RunSpec, metrics: &[Metric]) -> RunReport {
+        let report = self.run(spec);
+        let values: Vec<f64> = metrics.iter().map(|m| m.eval(&report)).collect();
+        let mut cells = labels.to_vec();
+        for (m, v) in metrics.iter().zip(&values) {
+            cells.push(m.format(*v));
+        }
+        self.emit_row(&cells, labels.len(), &values);
+        report
+    }
+
+    /// Prints a row from values the caller computed (from reports or
+    /// [`Experiment::collect`] output). Labels fill the first columns,
+    /// `values` the rest.
+    pub fn case_values(&mut self, labels: &[String], values: &[f64]) {
+        let mut cells = labels.to_vec();
+        cells.extend(values.iter().map(|v| crate::stats::f3(*v)));
+        self.emit_row(&cells, labels.len(), values);
+    }
+
+    /// Like [`Experiment::case_values`], but with caller-formatted value
+    /// cells (the JSON still records the raw numbers).
+    pub fn case_cells(&mut self, labels: &[String], cells: &[String], values: &[f64]) {
+        let mut all = labels.to_vec();
+        all.extend(cells.iter().cloned());
+        self.emit_row(&all, labels.len(), values);
+    }
+
+    /// The harness-owned custom trial loop: runs `f` over `trials` seeds
+    /// in parallel (honoring `--trials`) and returns per-seed results in
+    /// seed order — for experiments whose cell is not a protocol run
+    /// (exact crypto models, pure election sampling, …).
+    pub fn collect<T: Send>(&self, trials: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+        par_trials(self.trials_override.unwrap_or(trials), f)
+    }
+
+    /// Runs a custom per-seed closure returning one value vector per
+    /// seed, prints the per-column means as a row, and returns them.
+    pub fn case_with(
+        &mut self,
+        labels: &[String],
+        trials: u64,
+        f: impl Fn(u64) -> Vec<f64> + Sync,
+    ) -> Vec<f64> {
+        let samples = self.collect(trials, f);
+        let cols = samples.first().map_or(0, Vec::len);
+        let means: Vec<f64> = (0..cols)
+            .map(|c| mean(&samples.iter().map(|s| s[c]).collect::<Vec<_>>()))
+            .collect();
+        self.case_values(labels, &means);
+        means
+    }
+
+    /// Prints a free-form paragraph (kept out of the JSON).
+    pub fn note(&mut self, text: &str) {
+        println!("{text}");
+    }
+
+    fn emit_row(&mut self, cells: &[String], label_count: usize, values: &[f64]) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match the section columns (section `{}`)",
+            self.section
+        );
+        let table = self
+            .table
+            .as_ref()
+            .expect("declare a section before emitting rows");
+        table.row(cells);
+        // JSON: labels as strings under their column names, values as
+        // numbers under theirs.
+        let mut fields = vec![
+            format!("\"experiment\": \"{}\"", json_escape(&self.name)),
+            format!("\"section\": \"{}\"", json_escape(&self.section)),
+        ];
+        for (col, cell) in self.columns.iter().take(label_count).zip(cells) {
+            fields.push(format!(
+                "\"{}\": \"{}\"",
+                json_escape(col),
+                json_escape(cell)
+            ));
+        }
+        for (col, v) in self.columns.iter().skip(label_count).zip(values) {
+            fields.push(format!("\"{}\": {}", json_escape(col), json_num(*v)));
+        }
+        self.rows.push(format!("{{{}}}", fields.join(", ")));
+    }
+
+    /// Writes the JSON rows if `--json` was passed. Every binary calls
+    /// this last.
+    pub fn finish(mut self) {
+        self.finished = true;
+        let Some(path) = self.json_out.take() else {
+            return;
+        };
+        let body = format!("[\n  {}\n]\n", self.rows.join(",\n  "));
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}
+
+impl Drop for Experiment {
+    fn drop(&mut self) {
+        if !self.finished && self.json_out.is_some() && !std::thread::panicking() {
+            eprintln!("warning: Experiment dropped without finish(); --json output not written");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RunSpec;
+
+    #[test]
+    fn metrics_evaluate_over_reports() {
+        let report = run(&RunSpec::flood(16).trials(2)).expect("run");
+        assert_eq!(Metric::Agreement.eval(&report), 1.0);
+        assert_eq!(Metric::Decided.eval(&report), 1.0);
+        assert!(Metric::Rounds.eval(&report) > 0.0);
+        assert!(Metric::TotalBits.eval(&report) > 0.0);
+        assert_eq!(Metric::LossRate.eval(&report), 0.0);
+        assert_eq!(Metric::Agreement.format(0.5), "0.500");
+        assert_eq!(Metric::Rounds.format(12.0), "12");
+        assert_eq!(Metric::Rounds.name(), "rounds");
+    }
+
+    #[test]
+    fn json_helpers_are_safe() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_num(f64::NAN), "0");
+        assert_eq!(json_num(1.5), "1.5");
+    }
+}

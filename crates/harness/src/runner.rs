@@ -1,0 +1,702 @@
+//! Executes a [`RunSpec`]: the one trial loop, per-trial transports, and
+//! uniform metric extraction for every protocol the spec surface names.
+
+use crate::spec::{
+    AeToESpec, AebaSpec, Knowledgeable, MessageAdversary, Protocol, RunSpec, TournamentTuning,
+};
+use crate::stats::par_trials;
+use ba_baselines::{
+    BenOrConfig, BenOrProcess, FloodConfig, FloodProcess, PhaseKingConfig, PhaseKingProcess,
+    RabinConfig, RabinProcess,
+};
+use ba_core::ae_to_e::{AeToEConfig, AeToEProcess};
+use ba_core::aeba::{AebaConfig, AebaProcess, UnreliableCoin};
+use ba_core::attacks::{LabelGuesser, Overloader, ResponseForger, SplitVoter};
+use ba_core::coin::CoinSequence;
+use ba_core::everywhere::{self, EverywhereConfig, StackMsg};
+use ba_core::tournament::{self, LevelStats, TourMsg, TournamentConfig};
+use ba_net::{NetConfig, NetStats, NetTransport};
+use ba_sim::{
+    Adversary, BitStats, NullAdversary, ProcId, Process, RunOutcome, SimBuilder, StaticAdversary,
+};
+use ba_topology::Params;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Uniform per-trial metrics, with protocol-specific drill-down where it
+/// exists.
+#[derive(Clone, Debug)]
+pub struct TrialOutcome {
+    /// The trial's seed.
+    pub seed: u64,
+    /// Plurality-agreement fraction among live good processors.
+    pub agreement: f64,
+    /// Fraction of live good processors that decided at all.
+    pub decided: f64,
+    /// Whether the decision was valid (protocols that define validity).
+    pub valid: Option<bool>,
+    /// The decided bit (tournament / everywhere runs).
+    pub decided_bit: Option<bool>,
+    /// Live good processors that decided a *wrong* value (Algorithm 3 /
+    /// everywhere runs; 0 elsewhere).
+    pub wrong: usize,
+    /// Synchronous rounds executed.
+    pub rounds: usize,
+    /// Bits sent by live good processors.
+    pub bits: BitStats,
+    /// Bits sent by everyone.
+    pub total_bits: u64,
+    /// Final corruption flags.
+    pub corrupt: Vec<bool>,
+    /// The global coin subsequence (tournament / everywhere runs).
+    pub coins: Option<CoinSequence>,
+    /// Per-level tournament statistics (tournament / everywhere runs).
+    pub level_stats: Vec<LevelStats>,
+    /// Rounds spent in the tournament phase (everywhere runs).
+    pub tournament_rounds: Option<usize>,
+    /// Good-processor bits of the tournament phase alone (tournament /
+    /// everywhere runs).
+    pub tournament_bits: Option<BitStats>,
+    /// Good-processor bits of the Algorithm-3 phase alone (everywhere
+    /// runs).
+    pub ae_bits: Option<BitStats>,
+    /// Network statistics of the trial's transport.
+    pub net: Option<NetStats>,
+}
+
+impl TrialOutcome {
+    fn base(seed: u64) -> Self {
+        TrialOutcome {
+            seed,
+            agreement: 0.0,
+            decided: 0.0,
+            valid: None,
+            decided_bit: None,
+            wrong: 0,
+            rounds: 0,
+            bits: BitStats::default(),
+            total_bits: 0,
+            corrupt: Vec::new(),
+            coins: None,
+            level_stats: Vec::new(),
+            tournament_rounds: None,
+            tournament_bits: None,
+            ae_bits: None,
+            net: None,
+        }
+    }
+}
+
+/// All trials of one spec, with aggregation helpers.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-trial outcomes in trial order.
+    pub trials: Vec<TrialOutcome>,
+}
+
+impl RunReport {
+    /// Mean of `f` over trials.
+    pub fn mean_of(&self, f: impl Fn(&TrialOutcome) -> f64) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().map(f).sum::<f64>() / self.trials.len() as f64
+    }
+
+    /// Minimum of `f` over trials.
+    pub fn min_of(&self, f: impl Fn(&TrialOutcome) -> f64) -> f64 {
+        self.trials.iter().map(f).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Fraction of trials satisfying `pred`.
+    pub fn frac_of(&self, pred: impl Fn(&TrialOutcome) -> bool) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().filter(|t| pred(t)).count() as f64 / self.trials.len() as f64
+    }
+
+    /// Network statistics summed over all trials.
+    pub fn net_sum(&self) -> NetStats {
+        let mut acc = NetStats::default();
+        for t in &self.trials {
+            let Some(net) = &t.net else { continue };
+            acc.sent += net.sent;
+            acc.delivered += net.delivered;
+            acc.late += net.late;
+            acc.late_rounds += net.late_rounds;
+            acc.dropped_random += net.dropped_random;
+            acc.dropped_partition += net.dropped_partition;
+            acc.dead_letters += net.dead_letters;
+            acc.in_flight_at_end += net.in_flight_at_end;
+            if acc.per_phase.is_empty() {
+                acc.per_phase = net.per_phase.clone();
+            } else {
+                for (a, p) in acc.per_phase.iter_mut().zip(&net.per_phase) {
+                    a.sent += p.sent;
+                    a.delivered += p.delivered;
+                    a.late += p.late;
+                    a.late_rounds += p.late_rounds;
+                    a.dropped_random += p.dropped_random;
+                    a.dropped_partition += p.dropped_partition;
+                    a.dead_letters += p.dead_letters;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Runs every trial of `spec` (fanned out over the `ba-par` pool; trial
+/// `t` is a pure function of seed `seeds.base + t`, so results are
+/// deterministic at any thread count).
+pub fn run(spec: &RunSpec) -> Result<RunReport, String> {
+    let trials: Vec<Result<TrialOutcome, String>> = par_trials(spec.trials, |t| run_trial(spec, t));
+    let mut out = Vec::with_capacity(trials.len());
+    for t in trials {
+        out.push(t?);
+    }
+    Ok(RunReport { trials: out })
+}
+
+/// Plurality agreement and decided fractions among processors that are
+/// neither corrupted nor crash-stopped.
+fn tally<O: PartialEq>(outputs: &[Option<O>], corrupt: &[bool], faulty: &[bool]) -> (f64, f64) {
+    let live: Vec<usize> = (0..outputs.len())
+        .filter(|&i| !corrupt[i] && !faulty[i])
+        .collect();
+    if live.is_empty() {
+        return (1.0, 1.0);
+    }
+    let decided = live.iter().filter(|&&i| outputs[i].is_some()).count();
+    let plurality = live
+        .iter()
+        .map(|&i| {
+            live.iter()
+                .filter(|&&j| outputs[j].is_some() && outputs[j] == outputs[i])
+                .count()
+        })
+        .max()
+        .unwrap_or(0);
+    (
+        plurality as f64 / live.len() as f64,
+        decided as f64 / live.len() as f64,
+    )
+}
+
+/// Bit statistics over live good processors from an engine outcome.
+fn good_bits<O>(outcome: &RunOutcome<O>) -> BitStats {
+    let samples: Vec<u64> = (0..outcome.corrupt.len())
+        .filter(|&i| !outcome.corrupt[i] && !outcome.faulty[i])
+        .map(|i| outcome.metrics.bits_sent_by(ProcId::new(i)))
+        .collect();
+    BitStats::from_samples(&samples)
+}
+
+/// Runs one engine-hosted protocol trial over a `ba-net` transport.
+/// `wrong_pred` flags a decided output as *wrong* (e.g. not the message
+/// Algorithm 3 was spreading); pass `|_| false` where the notion does
+/// not exist.
+#[allow(clippy::too_many_arguments)] // one spec-shaped bundle per knob; a struct would just rename them
+fn engine_case<P, F, A>(
+    spec: &RunSpec,
+    seed: u64,
+    cfg: NetConfig,
+    cap: usize,
+    flood_cap: Option<usize>,
+    make: F,
+    adversary: A,
+    wrong_pred: impl Fn(&P::Output) -> bool,
+) -> TrialOutcome
+where
+    P: Process,
+    P::Output: PartialEq,
+    F: FnMut(ProcId, usize) -> P,
+    A: Adversary<P>,
+{
+    let transport = NetTransport::new(spec.n, cfg);
+    let mut builder = SimBuilder::new(spec.n).seed(seed);
+    if let Some(budget) = spec.adversary.engine_budget() {
+        builder = builder.max_corruptions(budget);
+    }
+    if let Some(fc) = flood_cap {
+        builder = builder.flood_cap(fc);
+    }
+    let sim = builder.build_with_transport(make, adversary, transport);
+    let (outcome, transport) = sim.run_parts(cap);
+    let (agreement, decided) = tally(&outcome.outputs, &outcome.corrupt, &outcome.faulty);
+    let wrong = (0..spec.n)
+        .filter(|&i| !outcome.corrupt[i] && !outcome.faulty[i])
+        .filter(|&i| outcome.outputs[i].as_ref().is_some_and(&wrong_pred))
+        .count();
+    TrialOutcome {
+        agreement,
+        decided,
+        wrong,
+        rounds: outcome.rounds,
+        bits: good_bits(&outcome),
+        total_bits: outcome.metrics.total_bits(),
+        net: Some(transport.into_stats()),
+        corrupt: outcome.corrupt,
+        ..TrialOutcome::base(seed)
+    }
+}
+
+fn unsupported(spec: &RunSpec, what: &str) -> String {
+    format!(
+        "protocol `{}` does not support {what}",
+        spec.protocol.name()
+    )
+}
+
+/// Runs trial `trial` of `spec` at seed `seeds.base + trial`.
+pub fn run_trial(spec: &RunSpec, trial: u64) -> Result<TrialOutcome, String> {
+    let n = spec.n;
+    if n == 0 {
+        return Err("n must be positive".to_owned());
+    }
+    let seed = spec.seeds.seed(trial);
+    let cfg = spec.trial_net(trial);
+    let cap = spec.output.rounds_cap;
+    let input = spec.input;
+    match &spec.protocol {
+        Protocol::Flood => {
+            let pc = FloodConfig::for_n(n);
+            let adv = generic_static(spec)?;
+            Ok(engine_case(
+                spec,
+                seed,
+                cfg,
+                cap.unwrap_or(pc.rounds + 2),
+                None,
+                move |p, _| FloodProcess::new(pc, input.bit(p.index())),
+                adv,
+                |_| false,
+            ))
+        }
+        Protocol::PhaseKing => {
+            let pc = PhaseKingConfig::for_n(n);
+            let adv = generic_static(spec)?;
+            Ok(engine_case(
+                spec,
+                seed,
+                cfg,
+                cap.unwrap_or(pc.total_rounds() + 2),
+                None,
+                move |p, _| PhaseKingProcess::new(pc, input.bit(p.index())),
+                adv,
+                |_| false,
+            ))
+        }
+        Protocol::BenOr => {
+            let pc = BenOrConfig::for_n(n);
+            let adv = generic_static(spec)?;
+            Ok(engine_case(
+                spec,
+                seed,
+                cfg,
+                cap.unwrap_or(pc.total_rounds() + 2),
+                None,
+                move |p, _| BenOrProcess::new(pc, input.bit(p.index())),
+                adv,
+                |_| false,
+            ))
+        }
+        Protocol::Rabin => {
+            let mut pc = RabinConfig::for_n(n);
+            pc.beacon_seed ^= seed; // fresh beacon per trial
+            let adv = generic_static(spec)?;
+            Ok(engine_case(
+                spec,
+                seed,
+                cfg,
+                cap.unwrap_or(pc.total_rounds() + 2),
+                None,
+                move |p, _| RabinProcess::new(pc, input.bit(p.index())),
+                adv,
+                |_| false,
+            ))
+        }
+        Protocol::Aeba(aeba) => aeba_trial(spec, aeba, seed, cfg),
+        Protocol::AeToE(ae) => ae_to_e_trial(spec, ae, seed, cfg),
+        Protocol::Tournament(tuning) => tournament_trial(spec, tuning, seed, cfg),
+        Protocol::Everywhere => everywhere_trial(spec, seed, cfg),
+    }
+}
+
+/// The adversaries available to protocols without a specialized roster.
+fn generic_static(spec: &RunSpec) -> Result<StaticAdversary, String> {
+    match spec.adversary.message {
+        MessageAdversary::None => Ok(StaticAdversary::default()),
+        MessageAdversary::Crash { count } => Ok(StaticAdversary::first_k(count)),
+        other => Err(unsupported(spec, &format!("message adversary {other:?}"))),
+    }
+}
+
+fn aeba_trial(
+    spec: &RunSpec,
+    aeba: &AebaSpec,
+    seed: u64,
+    cfg: NetConfig,
+) -> Result<TrialOutcome, String> {
+    let n = spec.n;
+    let rounds = aeba.rounds;
+    let pc = AebaConfig {
+        rounds,
+        ..AebaConfig::default()
+    };
+    let cap = spec.output.rounds_cap.unwrap_or(rounds + 2);
+    let degree = aeba.degree.for_n(n);
+    let mut grng = rand_chacha::ChaCha12Rng::seed_from_u64(seed ^ 0x6261_6772);
+    let graph = Arc::new(ba_sampler::RegularGraph::random_out_degree(
+        n, degree, &mut grng,
+    ));
+    let coin = Arc::new(UnreliableCoin::generate(
+        rounds,
+        aeba.coin_success,
+        aeba.coin_blind,
+        seed,
+    ));
+    let input = spec.input;
+    let split_coins = aeba.split_failed_coins;
+    let make = move |p: ProcId, _n: usize| {
+        AebaProcess::new(
+            p,
+            input.bit(p.index()),
+            graph.clone(),
+            coin.clone(),
+            pc.clone(),
+            split_coins && p.index() % 2 == 1,
+        )
+    };
+    match spec.adversary.message {
+        MessageAdversary::SplitVotes { count } => Ok(engine_case(
+            spec,
+            seed,
+            cfg,
+            cap,
+            None,
+            make,
+            SplitVoter { count },
+            |_| false,
+        )),
+        MessageAdversary::None | MessageAdversary::Crash { .. } => {
+            let adv = generic_static(spec)?;
+            Ok(engine_case(spec, seed, cfg, cap, None, make, adv, |_| {
+                false
+            }))
+        }
+        other => Err(unsupported(spec, &format!("message adversary {other:?}"))),
+    }
+}
+
+fn ae_to_e_trial(
+    spec: &RunSpec,
+    ae: &AeToESpec,
+    seed: u64,
+    cfg: NetConfig,
+) -> Result<TrialOutcome, String> {
+    let n = spec.n;
+    let pc = AeToEConfig::for_n(n, ae.eps);
+    let cap = spec.output.rounds_cap.unwrap_or(pc.total_rounds() + 1);
+    let labels = pc.labels;
+    let message = ae.message;
+    let input = spec.input;
+    let knowledgeable = ae.knowledgeable;
+    let knows = move |p: usize| -> bool {
+        match knowledgeable {
+            Knowledgeable::Input => input.bit(p),
+            Knowledgeable::Fraction(f) => p < ((n as f64) * f) as usize,
+        }
+    };
+    let make = {
+        let pc = pc.clone();
+        move |p: ProcId, _n: usize| {
+            let k = knows(p.index()).then_some(message);
+            AeToEProcess::new(pc.clone(), k)
+        }
+    };
+    let wrong = move |v: &u64| *v != message;
+    let out = match spec.adversary.message {
+        MessageAdversary::None | MessageAdversary::Crash { .. } => {
+            let adv = generic_static(spec)?;
+            engine_case(spec, seed, cfg, cap, ae.flood_cap, make, adv, wrong)
+        }
+        MessageAdversary::Forge { count, fake } => engine_case(
+            spec,
+            seed,
+            cfg,
+            cap,
+            ae.flood_cap,
+            make,
+            ResponseForger { count, fake },
+            wrong,
+        ),
+        MessageAdversary::Overload { count, copies } => engine_case(
+            spec,
+            seed,
+            cfg,
+            cap,
+            ae.flood_cap,
+            make,
+            Overloader {
+                count,
+                labels,
+                copies,
+            },
+            wrong,
+        ),
+        MessageAdversary::GuessLabels { count, copies } => engine_case(
+            spec,
+            seed,
+            cfg,
+            cap,
+            ae.flood_cap,
+            make,
+            LabelGuesser {
+                count,
+                labels,
+                copies,
+            },
+            wrong,
+        ),
+        other => return Err(unsupported(spec, &format!("message adversary {other:?}"))),
+    };
+    Ok(out)
+}
+
+/// Applies tuning overrides onto practical parameters.
+fn tuned_params(n: usize, tuning: &TournamentTuning) -> Params {
+    let mut p = Params::practical(n);
+    if let Some(q) = tuning.q {
+        p = p.with_q(q);
+    }
+    if let Some(k1) = tuning.k1 {
+        p = p.with_k1(k1);
+    }
+    if let Some(d) = tuning.aeba_degree {
+        p = p.with_aeba_degree(d);
+    }
+    p
+}
+
+fn tournament_trial(
+    spec: &RunSpec,
+    tuning: &TournamentTuning,
+    seed: u64,
+    cfg: NetConfig,
+) -> Result<TrialOutcome, String> {
+    if spec.adversary.message != MessageAdversary::None {
+        return Err(unsupported(
+            spec,
+            "message adversaries (compose a tree adversary instead)",
+        ));
+    }
+    if spec.output.rounds_cap.is_some() {
+        return Err(unsupported(
+            spec,
+            "a rounds cap (the structured executor's length is parameter-determined)",
+        ));
+    }
+    let n = spec.n;
+    let mut config = TournamentConfig::for_n(n).with_seed(seed);
+    config.params = tuned_params(n, tuning);
+    let inputs: Vec<bool> = (0..n).map(|i| spec.input.bit(i)).collect();
+    let mut adv = spec.adversary.tree.instantiate();
+    let mut transport: NetTransport<TourMsg> = NetTransport::new(n, cfg);
+    let out = tournament::run_with_transport(&config, &inputs, &mut adv, &mut transport);
+    let good = out.corrupt.iter().filter(|&&c| !c).count().max(1);
+    let decided_count = out.decisions.iter().flatten().count();
+    let bits = out.good_bit_stats();
+    Ok(TrialOutcome {
+        agreement: out.agreement_fraction,
+        decided: decided_count as f64 / good as f64,
+        valid: Some(out.valid),
+        decided_bit: Some(out.decided),
+        rounds: out.rounds,
+        total_bits: out.bits_per_proc.iter().sum(),
+        tournament_rounds: Some(out.rounds),
+        tournament_bits: Some(bits),
+        bits,
+        coins: Some(CoinSequence::new(out.coin_words)),
+        level_stats: out.level_stats,
+        corrupt: out.corrupt,
+        net: Some(transport.into_stats()),
+        ..TrialOutcome::base(seed)
+    })
+}
+
+fn everywhere_trial(spec: &RunSpec, seed: u64, cfg: NetConfig) -> Result<TrialOutcome, String> {
+    if spec.output.rounds_cap.is_some() {
+        return Err(unsupported(
+            spec,
+            "a rounds cap (both phase lengths are parameter-determined)",
+        ));
+    }
+    let n = spec.n;
+    let config = EverywhereConfig::for_n(n).with_seed(seed);
+    let labels = config.ae.labels;
+    let inputs: Vec<bool> = (0..n).map(|i| spec.input.bit(i)).collect();
+    let mut adv = spec.adversary.tree.instantiate();
+    let transport: NetTransport<StackMsg> = NetTransport::new(n, cfg);
+    let (out, transport) = match spec.adversary.message {
+        MessageAdversary::None => {
+            everywhere::run_with_transport(&config, &inputs, &mut adv, NullAdversary, transport)
+        }
+        MessageAdversary::Crash { count } => everywhere::run_with_transport(
+            &config,
+            &inputs,
+            &mut adv,
+            StaticAdversary::first_k(count),
+            transport,
+        ),
+        MessageAdversary::Forge { count, fake } => everywhere::run_with_transport(
+            &config,
+            &inputs,
+            &mut adv,
+            ResponseForger { count, fake },
+            transport,
+        ),
+        MessageAdversary::Overload { count, copies } => everywhere::run_with_transport(
+            &config,
+            &inputs,
+            &mut adv,
+            Overloader {
+                count,
+                labels,
+                copies,
+            },
+            transport,
+        ),
+        MessageAdversary::GuessLabels { count, copies } => everywhere::run_with_transport(
+            &config,
+            &inputs,
+            &mut adv,
+            LabelGuesser {
+                count,
+                labels,
+                copies,
+            },
+            transport,
+        ),
+        other => return Err(unsupported(spec, &format!("message adversary {other:?}"))),
+    };
+    let good: Vec<usize> = (0..n).filter(|&i| !out.corrupt[i]).collect();
+    let decided_count = good.iter().filter(|&&i| out.decisions[i].is_some()).count();
+    let agreeing = good
+        .iter()
+        .filter(|&&i| out.decisions[i] == Some(out.tournament.decided))
+        .count();
+    let good_n = good.len().max(1);
+    let bits = out.good_bit_stats();
+    let ae_samples: Vec<u64> = good
+        .iter()
+        .map(|&i| out.bits_per_proc[i] - out.tournament.bits_per_proc[i])
+        .collect();
+    Ok(TrialOutcome {
+        agreement: agreeing as f64 / good_n as f64,
+        decided: decided_count as f64 / good_n as f64,
+        valid: Some(out.valid),
+        decided_bit: Some(out.tournament.decided),
+        wrong: out.ae.wrong,
+        rounds: out.rounds,
+        total_bits: out.bits_per_proc.iter().sum(),
+        tournament_rounds: Some(out.tournament.rounds),
+        tournament_bits: Some(out.tournament.good_bit_stats()),
+        ae_bits: Some(BitStats::from_samples(&ae_samples)),
+        bits,
+        coins: Some(CoinSequence::from_tournament(&out.tournament)),
+        level_stats: out.tournament.level_stats.clone(),
+        corrupt: out.corrupt,
+        net: Some(transport.into_stats()),
+        ..TrialOutcome::base(seed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AdversarySpec, TreeAttack};
+
+    #[test]
+    fn flood_runs_and_agrees() {
+        let report = run(&RunSpec::flood(16).trials(2)).expect("run");
+        assert_eq!(report.trials.len(), 2);
+        for t in &report.trials {
+            assert_eq!(t.agreement, 1.0);
+            assert_eq!(t.decided, 1.0);
+            assert!(t.net.is_some());
+        }
+    }
+
+    #[test]
+    fn trials_are_deterministic_per_seed() {
+        let spec = RunSpec::aeba(48)
+            .trials(2)
+            .seeds(9)
+            .net(NetConfig::synchronous().with_faults(ba_net::FaultPlan {
+                drop_prob: 0.2,
+                ..ba_net::FaultPlan::default()
+            }));
+        let a = run(&spec).expect("run a");
+        let b = run(&spec).expect("run b");
+        for (x, y) in a.trials.iter().zip(&b.trials) {
+            assert_eq!(x.total_bits, y.total_bits);
+            assert_eq!(x.agreement, y.agreement);
+            assert_eq!(
+                x.net.as_ref().unwrap().dropped_random,
+                y.net.as_ref().unwrap().dropped_random
+            );
+        }
+        // Different base seed → (almost surely) different drop draws.
+        let c = run(&spec.clone().seeds(100)).expect("run c");
+        assert_ne!(
+            a.trials[0].net.as_ref().unwrap().dropped_random,
+            c.trials[0].net.as_ref().unwrap().dropped_random,
+            "seeding must reach the transport"
+        );
+    }
+
+    #[test]
+    fn tournament_carries_drilldown() {
+        let spec = RunSpec::tournament(64).trials(1).seeds(3);
+        let report = run(&spec).expect("run");
+        let t = &report.trials[0];
+        assert!(t.valid.expect("tournament defines validity"));
+        assert!(!t.level_stats.is_empty());
+        assert!(t.coins.as_ref().is_some_and(|c| !c.is_empty()));
+        assert!(t.net.as_ref().is_some_and(|n| n.sent > 0));
+    }
+
+    #[test]
+    fn composed_adversaries_reach_everywhere() {
+        let spec = RunSpec::everywhere(64).trials(1).adversary(
+            AdversarySpec::none()
+                .with_tree(TreeAttack::WinnerHunter)
+                .with_message(MessageAdversary::Forge {
+                    count: 8,
+                    fake: 666,
+                }),
+        );
+        let report = run(&spec).expect("run");
+        let t = &report.trials[0];
+        assert!(
+            t.corrupt.iter().any(|&c| c),
+            "adversaries corrupted someone"
+        );
+        assert_eq!(t.wrong, 0, "forgery must not flip decisions");
+    }
+
+    #[test]
+    fn invalid_combo_is_an_error() {
+        let spec = RunSpec::flood(16).adversary(AdversarySpec::split(4));
+        assert!(run(&spec).is_err());
+        let spec = RunSpec::tournament(64)
+            .adversary(AdversarySpec::none().with_message(MessageAdversary::Crash { count: 2 }));
+        assert!(run(&spec).is_err());
+        // A rounds cap is meaningless for the structured executors and
+        // must not be silently dropped.
+        assert!(run(&RunSpec::tournament(64).rounds_cap(20)).is_err());
+        assert!(run(&RunSpec::everywhere(64).rounds_cap(20)).is_err());
+    }
+}

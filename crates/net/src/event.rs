@@ -1,13 +1,12 @@
 //! The deterministic discrete-event queue at the heart of `ba-net`.
 //!
-//! A thin wrapper over [`std::collections::BinaryHeap`] that pops events
-//! in ascending `(time, tie, seq)` order:
+//! Events pop in ascending `(time, tie, seq)` order:
 //!
 //! * `time` — the simulated instant the event fires (abstract ticks);
 //! * `tie` — a caller-supplied tie-break key for events at the same
 //!   instant. Callers that derive `tie` deterministically from the event
 //!   itself (the network transport uses the global emission index) get a
-//!   delivery order that is independent of heap internals;
+//!   delivery order that is independent of queue internals;
 //! * `seq` — a monotone insertion counter, the final disambiguator, so
 //!   even fully identical keys pop in insertion order.
 //!
@@ -15,39 +14,70 @@
 //! of the multiset of `(time, tie)` keys plus insertion order of exact
 //! duplicates — *not* of the interleaving in which distinct keys were
 //! pushed. The `net_determinism` proptests pin this down.
+//!
+//! ## Batched pops
+//!
+//! The storage is a calendar of per-instant buckets (a [`BTreeMap`] from
+//! firing time to the events at that time) rather than one binary heap
+//! of events. Synchronous and constant-latency runs put *every* message
+//! of a round on the same arrival tick, and even jittery links cluster
+//! arrivals at round boundaries — so draining one round used to cost one
+//! `O(log n)` heap pop *per event*. Here a whole same-time batch detaches
+//! in a single tree operation ([`EventQueue::drain_due`]); the bucket is
+//! sorted by `(tie, seq)` once, lazily, at drain time (a no-op for the
+//! common already-ordered emission pattern, verified before sorting).
+//! The `event_queue` criterion group in `ba-bench` measures the win.
 
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// One queued event (internal representation).
 #[derive(Debug)]
 struct Entry<T> {
-    time: u64,
     tie: u64,
     seq: u64,
     value: T,
 }
 
-// BinaryHeap is a max-heap: reverse the comparison so the smallest
-// (time, tie, seq) key surfaces first.
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (other.time, other.tie, other.seq).cmp(&(self.time, self.tie, self.seq))
+impl<T> Entry<T> {
+    fn key(&self) -> (u64, u64) {
+        (self.tie, self.seq)
     }
 }
 
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+/// The events at one firing instant. Kept in insertion order with an
+/// incrementally-maintained sortedness flag: the transport's
+/// emission-indexed pushes arrive already in `(tie, seq)` order, so the
+/// sort at drain time is usually a no-op check on the flag.
+#[derive(Debug)]
+struct Bucket<T> {
+    entries: VecDeque<Entry<T>>,
+    sorted: bool,
+}
+
+impl<T> Default for Bucket<T> {
+    fn default() -> Self {
+        Bucket {
+            entries: VecDeque::new(),
+            sorted: true,
+        }
     }
 }
 
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        (self.time, self.tie, self.seq) == (other.time, other.tie, other.seq)
+impl<T> Bucket<T> {
+    fn push(&mut self, e: Entry<T>) {
+        self.sorted = self.sorted && self.entries.back().is_none_or(|b| b.key() <= e.key());
+        self.entries.push_back(e);
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.entries
+                .make_contiguous()
+                .sort_unstable_by_key(Entry::key);
+            self.sorted = true;
+        }
     }
 }
-
-impl<T> Eq for Entry<T> {}
 
 /// A deterministic future-event queue keyed by `(time, tie, seq)`.
 ///
@@ -64,7 +94,9 @@ impl<T> Eq for Entry<T> {}
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
+    /// Firing time → the events at that instant.
+    buckets: BTreeMap<u64, Bucket<T>>,
+    len: usize,
     next_seq: u64,
 }
 
@@ -78,7 +110,8 @@ impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: BTreeMap::new(),
+            len: 0,
             next_seq: 0,
         }
     }
@@ -88,37 +121,62 @@ impl<T> EventQueue<T> {
     pub fn push(&mut self, time: u64, tie: u64, value: T) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            time,
-            tie,
-            seq,
-            value,
-        });
+        self.len += 1;
+        self.buckets
+            .entry(time)
+            .or_default()
+            .push(Entry { tie, seq, value });
         seq
     }
 
     /// The firing time of the earliest queued event, if any.
     pub fn peek_time(&self) -> Option<u64> {
-        self.heap.peek().map(|e| e.time)
+        self.buckets.keys().next().copied()
     }
 
-    /// Pops the earliest event if it fires at or before `now`.
+    /// Pops the earliest event if it fires at or before `now`. (One
+    /// bucket sort amortizes over all of its pops; prefer
+    /// [`EventQueue::drain_due`] when everything due is wanted anyway.)
     pub fn pop_due(&mut self, now: u64) -> Option<(u64, T)> {
-        if self.heap.peek().is_some_and(|e| e.time <= now) {
-            self.heap.pop().map(|e| (e.time, e.value))
-        } else {
-            None
+        let (&time, _) = self.buckets.first_key_value()?;
+        if time > now {
+            return None;
+        }
+        let bucket = self.buckets.get_mut(&time).expect("bucket exists");
+        bucket.ensure_sorted();
+        let entry = bucket.entries.pop_front().expect("bucket is non-empty");
+        if bucket.entries.is_empty() {
+            self.buckets.remove(&time);
+        }
+        self.len -= 1;
+        Some((time, entry.value))
+    }
+
+    /// Drains **every** event firing at or before `now` into `f`, in
+    /// `(time, tie, seq)` order — one tree operation per distinct firing
+    /// time instead of one heap pop per event.
+    pub fn drain_due(&mut self, now: u64, f: &mut dyn FnMut(u64, T)) {
+        while let Some((&time, _)) = self.buckets.first_key_value() {
+            if time > now {
+                return;
+            }
+            let mut bucket = self.buckets.remove(&time).expect("bucket exists");
+            self.len -= bucket.entries.len();
+            bucket.ensure_sorted();
+            for e in bucket.entries {
+                f(time, e.value);
+            }
         }
     }
 
     /// Number of queued events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are queued.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -171,5 +229,46 @@ mod tests {
             v
         };
         assert_eq!(drain(a), drain(b));
+    }
+
+    #[test]
+    fn drain_due_matches_repeated_pops() {
+        let keys = [(4u64, 1u64), (2, 9), (4, 0), (2, 9), (7, 3), (2, 1)];
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (i, &(t, tie)) in keys.iter().enumerate() {
+            a.push(t, tie, i);
+            b.push(t, tie, i);
+        }
+        let mut drained = Vec::new();
+        a.drain_due(4, &mut |t, v| drained.push((t, v)));
+        let mut popped = Vec::new();
+        while let Some((t, v)) = b.pop_due(4) {
+            popped.push((t, v));
+        }
+        assert_eq!(drained, popped);
+        assert_eq!(a.len(), 1, "the t=7 event stays queued");
+        a.drain_due(u64::MAX, &mut |t, v| drained.push((t, v)));
+        assert_eq!(drained.last(), Some(&(7, 4)));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn drain_due_same_instant_batch_keeps_tie_order() {
+        let mut q = EventQueue::new();
+        // All at one instant, pushed out of tie order.
+        for &(tie, v) in &[
+            (5u64, 'e'),
+            (1, 'b'),
+            (9, 'f'),
+            (0, 'a'),
+            (3, 'c'),
+            (3, 'd'),
+        ] {
+            q.push(42, tie, v);
+        }
+        let mut got = Vec::new();
+        q.drain_due(42, &mut |_, v| got.push(v));
+        assert_eq!(got, vec!['a', 'b', 'c', 'd', 'e', 'f']);
     }
 }

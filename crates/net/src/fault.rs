@@ -114,11 +114,7 @@ impl FaultPlan {
         to: usize,
         rng: &mut SimRng,
     ) -> Option<DropCause> {
-        if self
-            .partitions
-            .iter()
-            .any(|p| p.severs(round, from, to))
-        {
+        if self.partitions.iter().any(|p| p.severs(round, from, to)) {
             return Some(DropCause::Partition);
         }
         if self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob.min(1.0)) {
@@ -175,8 +171,18 @@ mod tests {
         assert!(c.is_down(6, 1));
         assert!(!c.is_down(7, 1));
         // Degenerate configs never fire.
-        assert!(!Churn { period: 0, down: 2, stagger: 0 }.is_down(3, 0));
-        assert!(!Churn { period: 8, down: 0, stagger: 0 }.is_down(7, 0));
+        assert!(!Churn {
+            period: 0,
+            down: 2,
+            stagger: 0
+        }
+        .is_down(3, 0));
+        assert!(!Churn {
+            period: 8,
+            down: 0,
+            stagger: 0
+        }
+        .is_down(7, 0));
     }
 
     #[test]
@@ -218,10 +224,7 @@ mod tests {
             ..FaultPlan::default()
         };
         let mut rng = derive_rng(3, 0);
-        assert_eq!(
-            plan.dropped(0, 0, 1, &mut rng),
-            Some(DropCause::Partition)
-        );
+        assert_eq!(plan.dropped(0, 0, 1, &mut rng), Some(DropCause::Partition));
         assert_eq!(plan.dropped(0, 1, 2, &mut rng), Some(DropCause::Random));
     }
 

@@ -24,11 +24,21 @@
 //! crash     = 3 12                 # proc round (repeatable)
 //! churn     = 16 4 1               # period down stagger
 //! corrupt   = 8                    # adversary corruption count
-//! adversary = crash                # none|crash|split
+//! adversary = crash                # none|crash|split (message level)
 //! phases    = elect:12,converge:36 # stats breakdown timetable
 //! coin_success = 0.8               # aeba coin schedule knobs
 //! coin_blind   = 0.02
+//! adversary.tree = custody-buster  # none|static-third|winner-hunter|custody-buster
+//! adversary.tree.aggressiveness = 0.6   # custody-buster budget fraction
+//! adversary.tree.attack = oppose   # passive|oppose|split|fixed-0|fixed-1
 //! ```
+//!
+//! The `adversary.tree.*` section names a *tree-level* adversary for the
+//! tournament/everywhere protocols. It composes with everything else: a
+//! spec may set a tree adversary, a message-level adversary, **and** a
+//! fault schedule in one run — the composition the unified `Experiment`
+//! API executes. Unknown keys are rejected with a did-you-mean
+//! suggestion.
 
 use crate::fault::{Churn, Crash, FaultPlan, Partition};
 use crate::latency::LatencyModel;
@@ -54,14 +64,14 @@ impl InputPattern {
         match self {
             InputPattern::UnanimousTrue => true,
             InputPattern::UnanimousFalse => false,
-            InputPattern::Split => i % 2 == 0,
-            InputPattern::Lopsided => i % 10 != 0,
+            InputPattern::Split => i.is_multiple_of(2),
+            InputPattern::Lopsided => !i.is_multiple_of(10),
         }
     }
 }
 
 /// A parsed scenario spec.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSpec {
     /// Scenario name (used in reports).
     pub name: String,
@@ -85,8 +95,18 @@ pub struct ScenarioSpec {
     pub faults: FaultPlan,
     /// Corruption count handed to the adversary.
     pub corrupt: usize,
-    /// Adversary selector (interpreted by the runner).
+    /// Message-level adversary selector (interpreted by the runner).
     pub adversary: String,
+    /// Tree-level adversary selector (`adversary.tree`), for the
+    /// tournament/everywhere protocols; composes with the message-level
+    /// adversary and the fault schedule.
+    pub tree_adversary: String,
+    /// `adversary.tree.aggressiveness`: the custody-buster's per-level
+    /// budget fraction.
+    pub tree_aggressiveness: f64,
+    /// `adversary.tree.attack`: how corrupt committee members behave
+    /// (`passive|oppose|split|fixed-0|fixed-1`).
+    pub tree_attack: String,
     /// Stats-breakdown timetable: `(name, rounds)` pairs.
     pub phases: Vec<(String, usize)>,
     /// AEBA coin-round success probability.
@@ -116,6 +136,9 @@ impl ScenarioSpec {
             faults: FaultPlan::default(),
             corrupt: 0,
             adversary: "none".to_owned(),
+            tree_adversary: "none".to_owned(),
+            tree_aggressiveness: 1.0,
+            tree_attack: "oppose".to_owned(),
             phases: Vec::new(),
             coin_success: 0.8,
             coin_blind: 0.02,
@@ -141,6 +164,11 @@ impl ScenarioSpec {
                 "delta" => spec.delta = parse_num(value).map_err(|e| at(&e))?,
                 "corrupt" => spec.corrupt = parse_num(value).map_err(|e| at(&e))?,
                 "adversary" => spec.adversary = value.to_owned(),
+                "adversary.tree" => spec.tree_adversary = value.to_owned(),
+                "adversary.tree.aggressiveness" => {
+                    spec.tree_aggressiveness = parse_prob(value).map_err(|e| at(&e))?
+                }
+                "adversary.tree.attack" => spec.tree_attack = value.to_owned(),
                 "drop" => spec.faults.drop_prob = parse_prob(value).map_err(|e| at(&e))?,
                 "coin_success" => spec.coin_success = parse_prob(value).map_err(|e| at(&e))?,
                 "coin_blind" => spec.coin_blind = parse_prob(value).map_err(|e| at(&e))?,
@@ -194,7 +222,13 @@ impl ScenarioSpec {
                         ));
                     }
                 }
-                other => return Err(at(&format!("unknown key `{other}`"))),
+                other => {
+                    let mut msg = format!("unknown key `{other}`");
+                    if let Some(best) = did_you_mean(other) {
+                        msg.push_str(&format!(" (did you mean `{best}`?)"));
+                    }
+                    return Err(at(&msg));
+                }
             }
         }
         spec.name = name.ok_or("missing required key `name`")?;
@@ -211,7 +245,10 @@ impl ScenarioSpec {
         }
         for c in &spec.faults.crashes {
             if c.proc >= spec.n {
-                return Err(format!("crash processor {} out of range (n = {})", c.proc, spec.n));
+                return Err(format!(
+                    "crash processor {} out of range (n = {})",
+                    c.proc, spec.n
+                ));
             }
         }
         for p in &spec.faults.partitions {
@@ -251,6 +288,132 @@ impl ScenarioSpec {
     pub fn crashes_eventually(&self, p: usize) -> bool {
         self.faults.crash_round(p).is_some()
     }
+
+    /// Renders the spec back to canonical `key = value` text.
+    /// [`ScenarioSpec::parse`] of the result reproduces the spec exactly
+    /// (pinned by the grammar round-trip proptests).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "name = {}", self.name);
+        let _ = writeln!(out, "protocol = {}", self.protocol);
+        let _ = writeln!(out, "n = {}", self.n);
+        let _ = writeln!(out, "trials = {}", self.trials);
+        let _ = writeln!(out, "seed = {}", self.seed);
+        let input = match self.input {
+            InputPattern::UnanimousTrue => "unanimous-true",
+            InputPattern::UnanimousFalse => "unanimous-false",
+            InputPattern::Split => "split",
+            InputPattern::Lopsided => "lopsided",
+        };
+        let _ = writeln!(out, "input = {input}");
+        if let Some(r) = self.rounds {
+            let _ = writeln!(out, "rounds = {r}");
+        }
+        let _ = writeln!(out, "delta = {}", self.delta);
+        match &self.latency {
+            LatencyModel::Constant(d) => {
+                let _ = writeln!(out, "latency = constant {d}");
+            }
+            LatencyModel::Uniform { lo, hi } => {
+                let _ = writeln!(out, "latency = uniform {lo} {hi}");
+            }
+            LatencyModel::HeavyTail {
+                floor,
+                scale,
+                alpha,
+                cap,
+            } => {
+                let _ = writeln!(out, "latency = heavytail {floor} {scale} {alpha} {cap}");
+            }
+        }
+        let _ = writeln!(out, "drop = {}", self.faults.drop_prob);
+        for p in &self.faults.partitions {
+            let _ = writeln!(
+                out,
+                "partition = {} {} {}",
+                p.boundary, p.from_round, p.heal_round
+            );
+        }
+        for c in &self.faults.crashes {
+            let _ = writeln!(out, "crash = {} {}", c.proc, c.round);
+        }
+        if let Some(c) = &self.faults.churn {
+            let _ = writeln!(out, "churn = {} {} {}", c.period, c.down, c.stagger);
+        }
+        let _ = writeln!(out, "corrupt = {}", self.corrupt);
+        let _ = writeln!(out, "adversary = {}", self.adversary);
+        let _ = writeln!(out, "adversary.tree = {}", self.tree_adversary);
+        let _ = writeln!(
+            out,
+            "adversary.tree.aggressiveness = {}",
+            self.tree_aggressiveness
+        );
+        let _ = writeln!(out, "adversary.tree.attack = {}", self.tree_attack);
+        if !self.phases.is_empty() {
+            let parts: Vec<String> = self
+                .phases
+                .iter()
+                .map(|(n, l)| format!("{n}:{l}"))
+                .collect();
+            let _ = writeln!(out, "phases = {}", parts.join(","));
+        }
+        let _ = writeln!(out, "coin_success = {}", self.coin_success);
+        let _ = writeln!(out, "coin_blind = {}", self.coin_blind);
+        out
+    }
+}
+
+/// Every key the grammar accepts, for the did-you-mean suggestion.
+const KNOWN_KEYS: &[&str] = &[
+    "name",
+    "protocol",
+    "n",
+    "trials",
+    "seed",
+    "input",
+    "rounds",
+    "delta",
+    "latency",
+    "drop",
+    "partition",
+    "crash",
+    "churn",
+    "corrupt",
+    "adversary",
+    "adversary.tree",
+    "adversary.tree.aggressiveness",
+    "adversary.tree.attack",
+    "phases",
+    "coin_success",
+    "coin_blind",
+];
+
+/// The closest known key within an edit distance of 3, if any.
+fn did_you_mean(key: &str) -> Option<&'static str> {
+    KNOWN_KEYS
+        .iter()
+        .map(|&k| (edit_distance(key, k), k))
+        .min()
+        .filter(|&(d, _)| d <= 3)
+        .map(|(_, k)| k)
+}
+
+/// Plain Levenshtein distance (the key space is tiny).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
@@ -344,17 +507,27 @@ coin_blind   = 0.05
         assert_eq!(s.input, InputPattern::Lopsided);
         assert_eq!(s.rounds, Some(50));
         assert_eq!(s.delta, 500);
-        assert!(matches!(s.latency, LatencyModel::HeavyTail { floor: 10, .. }));
+        assert!(matches!(
+            s.latency,
+            LatencyModel::HeavyTail { floor: 10, .. }
+        ));
         assert!((s.faults.drop_prob - 0.05).abs() < 1e-12);
         assert_eq!(s.faults.partitions.len(), 2);
         assert_eq!(s.faults.crashes.len(), 2);
         assert_eq!(
             s.faults.churn,
-            Some(Churn { period: 16, down: 4, stagger: 1 })
+            Some(Churn {
+                period: 16,
+                down: 4,
+                stagger: 1
+            })
         );
         assert_eq!(s.corrupt, 8);
         assert_eq!(s.adversary, "crash");
-        assert_eq!(s.phases, vec![("elect".to_owned(), 12), ("converge".to_owned(), 38)]);
+        assert_eq!(
+            s.phases,
+            vec![("elect".to_owned(), 12), ("converge".to_owned(), 38)]
+        );
         assert!((s.coin_success - 0.7).abs() < 1e-12);
     }
 
@@ -371,10 +544,8 @@ coin_blind   = 0.05
 
     #[test]
     fn net_config_derives_trial_seed_and_schedule() {
-        let s = ScenarioSpec::parse(
-            "name=x\nprotocol=flood\nn=16\nseed=10\nphases=a:2,b:3\n",
-        )
-        .expect("parse");
+        let s = ScenarioSpec::parse("name=x\nprotocol=flood\nn=16\nseed=10\nphases=a:2,b:3\n")
+            .expect("parse");
         let cfg = s.net_config(5);
         assert_eq!(cfg.seed, 15);
         let sched = cfg.schedule.expect("schedule");
@@ -399,23 +570,65 @@ coin_blind   = 0.05
         assert!(err.contains("unknown key"), "{err}");
         let err = ScenarioSpec::parse("name=x\nprotocol=p\nn=4\ncrash = 9 0\n").unwrap_err();
         assert!(err.contains("out of range"), "{err}");
-        let err =
-            ScenarioSpec::parse("name=x\nprotocol=p\nn=4\npartition = 9 0 5\n").unwrap_err();
+        let err = ScenarioSpec::parse("name=x\nprotocol=p\nn=4\npartition = 9 0 5\n").unwrap_err();
         assert!(err.contains("side empty"), "{err}");
-        let err =
-            ScenarioSpec::parse("name=x\nprotocol=p\nn=4\npartition = 0 0 5\n").unwrap_err();
+        let err = ScenarioSpec::parse("name=x\nprotocol=p\nn=4\npartition = 0 0 5\n").unwrap_err();
         assert!(err.contains("side empty"), "{err}");
         let err = ScenarioSpec::parse("protocol=p\nn=4\n").unwrap_err();
         assert!(err.contains("name"), "{err}");
-        let err =
-            ScenarioSpec::parse("name=x\nprotocol=p\nn=4\nlatency = warp 9\n").unwrap_err();
+        let err = ScenarioSpec::parse("name=x\nprotocol=p\nn=4\nlatency = warp 9\n").unwrap_err();
         assert!(err.contains("latency"), "{err}");
         let err = ScenarioSpec::parse("name=x\nprotocol=p\nn=4\ndrop = 1.5\n").unwrap_err();
         assert!(err.contains("probability"), "{err}");
         let err = ScenarioSpec::parse("name=x\nprotocol=p\nn=4\nchurn = 4 4 0\n").unwrap_err();
         assert!(err.contains("churn"), "{err}");
-        let err =
-            ScenarioSpec::parse("name=x\nprotocol=p\nn=4\npartition = 2 5 5\n").unwrap_err();
+        let err = ScenarioSpec::parse("name=x\nprotocol=p\nn=4\npartition = 2 5 5\n").unwrap_err();
         assert!(err.contains("heal"), "{err}");
+    }
+
+    #[test]
+    fn tree_adversary_section_parses() {
+        let s = ScenarioSpec::parse(
+            "name=x\nprotocol=everywhere\nn=64\n\
+             adversary.tree = custody-buster\n\
+             adversary.tree.aggressiveness = 0.6\n\
+             adversary.tree.attack = split\n\
+             partition = 32 0 40\n",
+        )
+        .expect("parse");
+        assert_eq!(s.tree_adversary, "custody-buster");
+        assert!((s.tree_aggressiveness - 0.6).abs() < 1e-12);
+        assert_eq!(s.tree_attack, "split");
+        // Composition: the tree adversary coexists with a fault schedule.
+        assert_eq!(s.faults.partitions.len(), 1);
+    }
+
+    #[test]
+    fn tree_defaults_are_benign() {
+        let s = ScenarioSpec::parse("name=x\nprotocol=flood\nn=16\n").expect("parse");
+        assert_eq!(s.tree_adversary, "none");
+        assert!((s.tree_aggressiveness - 1.0).abs() < 1e-12);
+        assert_eq!(s.tree_attack, "oppose");
+    }
+
+    #[test]
+    fn unknown_keys_get_a_suggestion() {
+        let err = ScenarioSpec::parse("name=x\nadverssary = crash\n").unwrap_err();
+        assert!(err.contains("did you mean `adversary`"), "{err}");
+        let err = ScenarioSpec::parse("name=x\nadversary.tre = none\n").unwrap_err();
+        assert!(err.contains("did you mean `adversary.tree`"), "{err}");
+        let err = ScenarioSpec::parse("name=x\nlatencyy = constant 0\n").unwrap_err();
+        assert!(err.contains("did you mean `latency`"), "{err}");
+        // Nothing close: no suggestion at all.
+        let err = ScenarioSpec::parse("name=x\nzzzzzzzzzzzz = 1\n").unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn render_round_trips_the_kitchen_sink() {
+        let spec = ScenarioSpec::parse(FULL).expect("parse");
+        let rendered = spec.render();
+        let back = ScenarioSpec::parse(&rendered).expect("reparse");
+        assert_eq!(spec, back, "render→parse must be the identity");
     }
 }

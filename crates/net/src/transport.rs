@@ -23,7 +23,7 @@ use ba_sim::{derive_rng, Envelope, ProcId, Schedule, SimRng, Transport};
 pub const NET_LABEL: u64 = 1 << 42;
 
 /// Configuration of one [`NetTransport`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NetConfig {
     /// Ticks per protocol round (the delivery deadline: latency beyond
     /// this makes a message late).
@@ -185,6 +185,8 @@ pub struct NetTransport<M> {
     /// Emission counter, used as the event-queue tie key so delivery
     /// order is a pure function of (arrival, emission order).
     emitted: u64,
+    /// Scratch for batched drains (reused at high-water capacity).
+    due: Vec<InFlight<M>>,
 }
 
 impl<M> NetTransport<M> {
@@ -220,6 +222,7 @@ impl<M> NetTransport<M> {
             rng,
             stats,
             emitted: 0,
+            due: Vec::new(),
         }
     }
 
@@ -299,9 +302,14 @@ impl<M> Transport<M> for NetTransport<M> {
         // Everything that arrived by this round's opening tick is due.
         // (Nothing sent in round r can arrive before r·delta, and collect
         // for round r runs before round r's sends, so the r+1 floor is
-        // structural.)
+        // structural.) Batched: whole same-arrival buckets detach in one
+        // tree operation instead of one heap pop per envelope.
         let now = (round as u64).saturating_mul(self.cfg.delta);
-        while let Some((_, inflight)) = self.queue.pop_due(now) {
+        let mut due = std::mem::take(&mut self.due);
+        debug_assert!(due.is_empty());
+        self.queue
+            .drain_due(now, &mut |_, inflight| due.push(inflight));
+        for inflight in due.drain(..) {
             self.stats.delivered += 1;
             // The wire did its job, but a recipient that is dead or
             // churned out this round will never read the message.
@@ -326,6 +334,7 @@ impl<M> Transport<M> for NetTransport<M> {
             }
             deliver(inflight.env);
         }
+        self.due = due;
     }
 
     fn is_online(&self, round: usize, p: ProcId) -> bool {
@@ -333,17 +342,11 @@ impl<M> Transport<M> for NetTransport<M> {
         if self.crash_round.get(i).is_some_and(|&c| round >= c) {
             return false;
         }
-        !self
-            .cfg
-            .faults
-            .churn
-            .is_some_and(|c| c.is_down(round, i))
+        !self.cfg.faults.churn.is_some_and(|c| c.is_down(round, i))
     }
 
     fn is_faulty(&self, round: usize, p: ProcId) -> bool {
-        self.crash_round
-            .get(p.index())
-            .is_some_and(|&c| round >= c)
+        self.crash_round.get(p.index()).is_some_and(|&c| round >= c)
     }
 }
 
@@ -495,7 +498,9 @@ mod tests {
                             ctx.send(p, self.0);
                         }
                     }
-                    1 => self.1 = Some(inbox.iter().filter(|e| e.payload).count() * 2 > inbox.len()),
+                    1 => {
+                        self.1 = Some(inbox.iter().filter(|e| e.payload).count() * 2 > inbox.len())
+                    }
                     _ => {}
                 }
             }
@@ -516,7 +521,10 @@ mod tests {
             )
             .run(5);
         assert_eq!(outcome.faulty, vec![true, false, false, false]);
-        assert!(outcome.outputs[0].is_none(), "crashed at round 0, never ran");
+        assert!(
+            outcome.outputs[0].is_none(),
+            "crashed at round 0, never ran"
+        );
         // The agreement helpers hold the three live processors to
         // agreement — and only them.
         assert_eq!(outcome.good_count(), 3);

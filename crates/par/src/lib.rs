@@ -60,7 +60,10 @@ struct PoolShared {
 
 impl PoolShared {
     fn submit(&self, job: Job) {
-        self.queue.lock().expect("pool queue poisoned").push_back(job);
+        self.queue
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
         self.nonempty.notify_one();
     }
 
@@ -218,8 +221,7 @@ where
     // Hand each lane a block-cyclic stripe of the output slots: lane w
     // gets items w, w+lanes, w+2·lanes, ... This keeps slow tails (e.g.
     // the largest committees) spread across lanes.
-    let mut stripes: Vec<Vec<(usize, &mut Option<T>)>> =
-        (0..lanes).map(|_| Vec::new()).collect();
+    let mut stripes: Vec<Vec<(usize, &mut Option<T>)>> = (0..lanes).map(|_| Vec::new()).collect();
     for (i, slot) in out.iter_mut().enumerate() {
         stripes[i % lanes].push((i, slot));
     }
@@ -305,10 +307,7 @@ mod tests {
         let collect_ids = || {
             let mut ids: Vec<String> = par_map_index(200, |_| {
                 std::thread::sleep(std::time::Duration::from_micros(200));
-                std::thread::current()
-                    .name()
-                    .unwrap_or("caller")
-                    .to_owned()
+                std::thread::current().name().unwrap_or("caller").to_owned()
             });
             ids.sort();
             ids.dedup();
@@ -321,10 +320,8 @@ mod tests {
         }
         let a = collect_ids();
         let b = collect_ids();
-        let pool_a: Vec<&String> =
-            a.iter().filter(|n| n.starts_with("ba-par-")).collect();
-        let pool_b: Vec<&String> =
-            b.iter().filter(|n| n.starts_with("ba-par-")).collect();
+        let pool_a: Vec<&String> = a.iter().filter(|n| n.starts_with("ba-par-")).collect();
+        let pool_b: Vec<&String> = b.iter().filter(|n| n.starts_with("ba-par-")).collect();
         assert!(
             !pool_a.is_empty() && pool_a.iter().any(|n| pool_b.contains(n)),
             "no pool thread reused: {pool_a:?} vs {pool_b:?}"
@@ -338,9 +335,7 @@ mod tests {
             let inner = par_map_index(16, move |j| i * 100 + j);
             inner.iter().sum::<usize>()
         });
-        let expect: Vec<usize> = (0..8)
-            .map(|i| (0..16).map(|j| i * 100 + j).sum())
-            .collect();
+        let expect: Vec<usize> = (0..8).map(|i| (0..16).map(|j| i * 100 + j).sum()).collect();
         assert_eq!(out, expect);
     }
 

@@ -27,11 +27,12 @@ impl Sampler {
     ///
     /// Panics if any of `r`, `s`, `d` is zero or `s > u32::MAX`.
     pub fn random<R: Rng + ?Sized>(r: usize, s: usize, d: usize, rng: &mut R) -> Self {
-        assert!(r > 0 && s > 0 && d > 0, "sampler dimensions must be positive");
+        assert!(
+            r > 0 && s > 0 && d > 0,
+            "sampler dimensions must be positive"
+        );
         assert!(u32::try_from(s).is_ok(), "element space too large");
-        let assign = (0..r * d)
-            .map(|_| rng.gen_range(0..s) as u32)
-            .collect();
+        let assign = (0..r * d).map(|_| rng.gen_range(0..s) as u32).collect();
         Sampler { r, s, d, assign }
     }
 

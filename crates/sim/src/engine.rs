@@ -90,7 +90,12 @@ impl SimBuilder {
     /// `transport` — latency, loss, partitions, crash and churn models all
     /// plug in here (see the `ba-net` crate) without any change to the
     /// `Process` implementations.
-    pub fn build_with_transport<P, A, T, F>(self, mut make: F, adversary: A, transport: T) -> Sim<P, A, T>
+    pub fn build_with_transport<P, A, T, F>(
+        self,
+        mut make: F,
+        adversary: A,
+        transport: T,
+    ) -> Sim<P, A, T>
     where
         P: Process,
         A: Adversary<P>,
@@ -98,7 +103,9 @@ impl SimBuilder {
         F: FnMut(ProcId, usize) -> P,
     {
         let procs: Vec<P> = (0..self.n).map(|i| make(ProcId::new(i), self.n)).collect();
-        let rngs: Vec<SimRng> = (0..self.n).map(|i| derive_rng(self.seed, i as u64)).collect();
+        let rngs: Vec<SimRng> = (0..self.n)
+            .map(|i| derive_rng(self.seed, i as u64))
+            .collect();
         let adv_rng = derive_rng(self.seed, ADVERSARY_LABEL);
         Sim {
             n: self.n,
@@ -247,7 +254,8 @@ impl<P: Process, A: Adversary<P>, T: Transport<P::Msg>> Sim<P, A, T> {
                 .map(|p| p.index())
                 .filter(|i| newly_corrupt.contains(i))
                 .collect();
-            self.pending.retain(|e| !droppable.contains(&e.from.index()));
+            self.pending
+                .retain(|e| !droppable.contains(&e.from.index()));
         }
         // Inject adversary traffic: only authenticated (corrupt) senders.
         let mut injected = 0usize;
@@ -359,7 +367,9 @@ impl<O: PartialEq> RunOutcome<O> {
     /// Whether every good processor decided on one common value (any value).
     pub fn all_good_agree(&self) -> bool {
         let mut goods = self.good_indices();
-        let Some(first) = goods.next() else { return true };
+        let Some(first) = goods.next() else {
+            return true;
+        };
         let Some(v) = self.outputs[first].as_ref() else {
             return false;
         };
@@ -379,9 +389,7 @@ impl<O: PartialEq> RunOutcome<O> {
             .map(|&i| {
                 goods
                     .iter()
-                    .filter(|&&j| {
-                        self.outputs[j].is_some() && self.outputs[j] == self.outputs[i]
-                    })
+                    .filter(|&&j| self.outputs[j].is_some() && self.outputs[j] == self.outputs[i])
                     .count()
             })
             .max()
@@ -439,7 +447,13 @@ mod tests {
     fn echo_agrees_without_adversary() {
         let outcome = SimBuilder::new(9)
             .seed(3)
-            .build(|p, _| Echo { input: p.index() % 3 != 0, out: None }, NullAdversary)
+            .build(
+                |p, _| Echo {
+                    input: p.index() % 3 != 0,
+                    out: None,
+                },
+                NullAdversary,
+            )
             .run(5);
         // 6 of 9 inputs are `true`.
         assert!(outcome.all_good_agree_on(&true));
@@ -451,7 +465,13 @@ mod tests {
     #[test]
     fn bit_accounting_exact() {
         let outcome = SimBuilder::new(4)
-            .build(|_, _| Echo { input: true, out: None }, NullAdversary)
+            .build(
+                |_, _| Echo {
+                    input: true,
+                    out: None,
+                },
+                NullAdversary,
+            )
             .run(5);
         // Each of 4 processors sends 4 one-bit messages in round 0.
         assert_eq!(outcome.metrics.total_bits(), 16);
@@ -467,7 +487,10 @@ mod tests {
         let outcome = SimBuilder::new(10)
             .max_corruptions(3)
             .build(
-                |p, _| Echo { input: p.index() >= 3, out: None },
+                |p, _| Echo {
+                    input: p.index() >= 3,
+                    out: None,
+                },
                 StaticAdversary::first_k(3),
             )
             .run(5);
@@ -507,7 +530,13 @@ mod tests {
         // [true(p0), true, false] -> majority true (tie broken strictly >).
         let outcome = SimBuilder::new(3)
             .max_corruptions(1)
-            .build(|p, _| Echo { input: p.index() == 1, out: None }, Equivocator)
+            .build(
+                |p, _| Echo {
+                    input: p.index() == 1,
+                    out: None,
+                },
+                Equivocator,
+            )
             .run(5);
         assert_eq!(outcome.outputs[1], Some(false));
         assert_eq!(outcome.outputs[2], Some(true));
@@ -531,7 +560,13 @@ mod tests {
     fn corruption_budget_enforced() {
         let outcome = SimBuilder::new(9)
             .max_corruptions(2)
-            .build(|_, _| Echo { input: true, out: None }, Greedy)
+            .build(
+                |_, _| Echo {
+                    input: true,
+                    out: None,
+                },
+                Greedy,
+            )
             .run(5);
         assert_eq!(outcome.corrupt.iter().filter(|&&c| c).count(), 2);
         assert_eq!(outcome.good_count(), 7);
@@ -558,7 +593,13 @@ mod tests {
         let outcome = SimBuilder::new(4)
             .max_corruptions(1)
             .flood_cap(100)
-            .build(|_, _| Echo { input: true, out: None }, Flooder)
+            .build(
+                |_, _| Echo {
+                    input: true,
+                    out: None,
+                },
+                Flooder,
+            )
             .run(2);
         // Round 0: 4 procs × 4 sends (p0 corrupted after emitting, messages
         // kept) + ≤100 injected; round 1: ≤100 injected.
@@ -580,7 +621,13 @@ mod tests {
             }
         }
         let outcome = SimBuilder::new(3)
-            .build(|_, _| Echo { input: true, out: None }, Forger)
+            .build(
+                |_, _| Echo {
+                    input: true,
+                    out: None,
+                },
+                Forger,
+            )
             .run(3);
         // Forged envelopes never delivered: totals match the honest run.
         assert_eq!(outcome.metrics.total_msgs(), 9);
@@ -592,7 +639,13 @@ mod tests {
         let run = |seed| {
             SimBuilder::new(8)
                 .seed(seed)
-                .build(|p, _| Echo { input: p.index() % 2 == 0, out: None }, NullAdversary)
+                .build(
+                    |p, _| Echo {
+                        input: p.index() % 2 == 0,
+                        out: None,
+                    },
+                    NullAdversary,
+                )
                 .run(5)
                 .metrics
                 .total_bits()

@@ -98,7 +98,10 @@ mod tests {
         assert_eq!(ctx.n(), 5);
         assert_eq!(ctx.round(), 7);
         ctx.send(ProcId::new(4), 9u16);
-        assert_eq!(outbox, vec![Envelope::new(ProcId::new(2), ProcId::new(4), 9u16)]);
+        assert_eq!(
+            outbox,
+            vec![Envelope::new(ProcId::new(2), ProcId::new(4), 9u16)]
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ impl Phase {
 /// assert_eq!(s.locate(3), Some((agree, 1))); // round 3 = agree, offset 1
 /// assert_eq!(s.locate(7), None);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Schedule {
     phases: Vec<Phase>,
 }
@@ -86,9 +86,7 @@ impl Schedule {
     /// past the end of the timetable.
     pub fn locate(&self, round: usize) -> Option<(PhaseId, usize)> {
         // Phases are sorted by start; binary search the containing one.
-        let idx = self
-            .phases
-            .partition_point(|p| p.end() <= round);
+        let idx = self.phases.partition_point(|p| p.end() <= round);
         let p = self.phases.get(idx)?;
         p.contains(round).then(|| (idx, round - p.start))
     }

@@ -30,7 +30,11 @@ impl Goodness {
     /// Panics if `corrupt.len() != n`.
     pub fn classify(tree: &Tree, corrupt: &[bool], threshold: f64) -> Self {
         let p = tree.params();
-        assert_eq!(corrupt.len(), p.n, "corrupt flags must cover all processors");
+        assert_eq!(
+            corrupt.len(),
+            p.n,
+            "corrupt flags must cover all processors"
+        );
         let mut good = Vec::with_capacity(p.levels);
         let mut fraction = Vec::with_capacity(p.levels);
         for level in 1..=p.levels {
@@ -39,8 +43,7 @@ impl Goodness {
             let mut f = Vec::with_capacity(count);
             for node in 0..count {
                 let ms = tree.members(NodeAddr::new(level, node));
-                let good_members =
-                    ms.iter().filter(|&&m| !corrupt[m as usize]).count();
+                let good_members = ms.iter().filter(|&&m| !corrupt[m as usize]).count();
                 let frac = good_members as f64 / ms.len() as f64;
                 f.push(frac);
                 g.push(frac >= threshold);
@@ -104,9 +107,7 @@ impl Goodness {
             return 0.0;
         }
         let good = range
-            .filter(|&leaf| {
-                (1..=at.level).all(|l| self.is_good(tree.ancestor_of_leaf(leaf, l)))
-            })
+            .filter(|&leaf| (1..=at.level).all(|l| self.is_good(tree.ancestor_of_leaf(leaf, l))))
             .count();
         good as f64 / total as f64
     }

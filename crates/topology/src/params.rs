@@ -271,7 +271,9 @@ impl Params {
             return Err(ParamsError("link degrees must be positive".into()));
         }
         if self.node_count(self.levels) != 1 {
-            return Err(ParamsError("root level must contain exactly one node".into()));
+            return Err(ParamsError(
+                "root level must contain exactly one node".into(),
+            ));
         }
         Ok(())
     }

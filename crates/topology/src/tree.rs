@@ -240,7 +240,9 @@ impl Tree {
 
     /// Total number of committees across all levels.
     pub fn total_nodes(&self) -> usize {
-        (1..=self.params.levels).map(|l| self.params.node_count(l)).sum()
+        (1..=self.params.levels)
+            .map(|l| self.params.node_count(l))
+            .sum()
     }
 
     /// Reverse uplink query: which members of child committee `child`

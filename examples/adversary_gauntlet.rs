@@ -32,19 +32,11 @@ fn gauntlet_run(name: &str, n: usize, adversary: &mut dyn DynAdversary) {
 /// Object-safe adapter (TreeAdversary has a default-method surface that
 /// keeps it object-safe already, but the run call is generic).
 trait DynAdversary {
-    fn run(
-        &mut self,
-        config: &TournamentConfig,
-        inputs: &[bool],
-    ) -> tournament::TournamentOutcome;
+    fn run(&mut self, config: &TournamentConfig, inputs: &[bool]) -> tournament::TournamentOutcome;
 }
 
 impl<T: TreeAdversary> DynAdversary for T {
-    fn run(
-        &mut self,
-        config: &TournamentConfig,
-        inputs: &[bool],
-    ) -> tournament::TournamentOutcome {
+    fn run(&mut self, config: &TournamentConfig, inputs: &[bool]) -> tournament::TournamentOutcome {
         tournament::run(config, inputs, self)
     }
 }

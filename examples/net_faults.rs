@@ -50,7 +50,7 @@ fn main() {
 
     // 80% of processors start knowledgeable (holding MESSAGE).
     let make = |p: king_saia::sim::ProcId, _n: usize| {
-        let k = (p.index() % 5 != 0).then_some(MESSAGE);
+        let k = (!p.index().is_multiple_of(5)).then_some(MESSAGE);
         AeToEProcess::new(cfg.clone(), k)
     };
 
@@ -70,12 +70,18 @@ fn main() {
     let tally_clean = AeToEOutcome::from_outputs(&clean.outputs, &clean.corrupt, MESSAGE);
     let tally_faulty = AeToEOutcome::from_outputs(&faulty.outputs, &faulty.corrupt, MESSAGE);
     println!("                clean    faulty");
-    println!("agreed        : {:<8} {}", tally_clean.agreed, tally_faulty.agreed);
+    println!(
+        "agreed        : {:<8} {}",
+        tally_clean.agreed, tally_faulty.agreed
+    );
     println!(
         "undecided     : {:<8} {}",
         tally_clean.undecided, tally_faulty.undecided
     );
-    println!("wrong         : {:<8} {}", tally_clean.wrong, tally_faulty.wrong);
+    println!(
+        "wrong         : {:<8} {}",
+        tally_clean.wrong, tally_faulty.wrong
+    );
 
     let stats = transport.into_stats();
     println!(
@@ -94,19 +100,27 @@ fn main() {
         );
     }
 
-    // The same wire under the full Algorithm-4 stack (tournament phase
-    // in-memory, Algorithm 3 over the network).
+    // The same wire under the full Algorithm-4 stack — committee traffic
+    // included: the tournament's exposure/winner-share/root-coin
+    // exchanges and Algorithm 3's requests share one transport timeline.
     let config = EverywhereConfig::for_n(n).with_seed(seed);
     let inputs: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
-    let out = everywhere::run_with_transport(
+    let (out, stack_transport) = everywhere::run_with_transport(
         &config,
         &inputs,
         &mut NoTreeAdversary,
         NullAdversary,
         NetTransport::new(n, faulty_net(n, seed, Schedule::new())),
     );
+    let stack_stats = stack_transport.into_stats();
     println!(
         "\nfull stack on the same wire: valid = {}, everywhere agreement = {}, rounds = {}",
         out.valid, out.everywhere_agreement, out.rounds
+    );
+    println!(
+        "stack wire traffic (committee + Algorithm 3): {} sent, {} lost ({:.1}%)",
+        stack_stats.sent,
+        stack_stats.dropped(),
+        100.0 * stack_stats.loss_rate()
     );
 }

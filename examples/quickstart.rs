@@ -1,50 +1,97 @@
-//! Quickstart: run everywhere Byzantine agreement end to end and inspect
-//! the headline metric — bits sent per processor.
+//! Quickstart: the unified `Experiment` API end to end.
+//!
+//! One typed [`RunSpec`] is the single way to launch a run — protocol,
+//! adversary composition, and network model in one value; the harness
+//! owns trials, seeding, and metric extraction. This walks the ladder:
+//! a clean everywhere run, the same run against a composed adversary,
+//! and the same run again with a partition cutting committee traffic.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use king_saia::agree;
+use king_saia::exp::{self, AdversarySpec, NetConfig, RunSpec, TreeAttack};
+use king_saia::net::{FaultPlan, Partition};
 
 fn main() {
     let n = 256;
     println!("King–Saia everywhere Byzantine agreement, n = {n}");
-    println!("inputs: processor i starts with (i % 3 == 0)\n");
+    println!("inputs: split (processor i starts with i % 2 == 0)\n");
 
-    let outcome = agree(n, |i| i % 3 == 0, 2026);
-
-    println!("decided bit          : {}", outcome.tournament.decided);
-    println!("valid (some input)   : {}", outcome.valid);
-    println!("everywhere agreement : {}", outcome.everywhere_agreement);
-    println!("rounds               : {}", outcome.rounds);
-
-    let stats = outcome.good_bit_stats();
-    println!("\nbits sent per good processor:");
-    println!("  max  : {:>12}", stats.max);
-    println!("  mean : {:>12.0}", stats.mean);
-    println!("  min  : {:>12}", stats.min);
-
+    // 1. A clean everywhere run: 3 trials at seeds 2026, 2027, 2028.
+    let clean = exp::run(&RunSpec::everywhere(n).trials(3).seeds(2026)).expect("clean run");
+    let t = &clean.trials[0];
+    println!("clean stack (seed 2026):");
+    println!("  decided bit          : {}", t.decided_bit.unwrap());
+    println!("  valid (some input)   : {}", t.valid.unwrap());
+    println!("  agreement fraction   : {:.3}", t.agreement);
+    println!("  rounds               : {}", t.rounds);
+    println!(
+        "  bits per good proc   : max {} / mean {:.0} / min {}",
+        t.bits.max, t.bits.mean, t.bits.min
+    );
     let sqrt_n = (n as f64).sqrt();
     println!(
-        "\nÕ(√n) check: max/√n = {:.0} (a polylog(n) factor; √n = {sqrt_n:.0})",
-        stats.max as f64 / sqrt_n
+        "  Õ(√n) check          : max/√n = {:.0} (a polylog(n) factor; √n = {sqrt_n:.0})",
+        t.bits.max as f64 / sqrt_n
     );
-
-    println!("\nper-level tournament summary:");
-    for s in &outcome.tournament.level_stats {
+    println!("  per-level tournament :");
+    for s in &t.level_stats {
         println!(
-            "  level {}: {:>3} candidates → {:>2} winners ({} good), mean committee agreement {:.3}",
+            "    level {}: {:>3} candidates → {:>2} winners ({} good), committee agreement {:.3}",
             s.level, s.candidates, s.winners, s.good_winners, s.mean_agreement
         );
     }
-
-    let coins = &outcome.tournament.coin_words;
-    let good = coins.iter().filter(|c| c.good).count();
+    let coins = t.coins.as_ref().expect("everywhere runs carry coins");
     println!(
-        "\nglobal coin subsequence: {} words, {} genuine ({:.0}%)",
+        "  coin subsequence     : {} words, {:.0}% genuine",
         coins.len(),
-        good,
-        100.0 * good as f64 / coins.len().max(1) as f64
+        100.0 * coins.good_fraction()
+    );
+
+    // 2. The same spec against a *composed* adversary: an adaptive
+    // custody-buster at the tree level AND response forgery against
+    // Algorithm 3 — one AdversarySpec, one run.
+    let attacked = exp::run(
+        &RunSpec::everywhere(n).trials(3).seeds(2026).adversary(
+            AdversarySpec::none()
+                .with_tree(TreeAttack::CustodyBuster {
+                    aggressiveness: 1.0,
+                })
+                .with_message(king_saia::exp::MessageAdversary::Forge {
+                    count: n / 6,
+                    fake: 666,
+                }),
+        ),
+    )
+    .expect("attacked run");
+    println!(
+        "\ncomposed adversary (custody-buster + forgery): agreement {:.3}, wrong decisions {}",
+        attacked.mean_of(|t| t.agreement),
+        attacked.trials.iter().map(|t| t.wrong).sum::<usize>()
+    );
+
+    // 3. The same spec over a faulty wire: a half/half partition across
+    // the early committee exchanges. Committee traffic rides the same
+    // Transport as Algorithm 3, so the cut reaches the elections.
+    let cut = exp::run(&RunSpec::everywhere(n).trials(3).seeds(2026).net(
+        NetConfig::synchronous().with_faults(FaultPlan {
+            partitions: vec![Partition {
+                boundary: n / 2,
+                from_round: 0,
+                heal_round: 30,
+            }],
+            ..FaultPlan::default()
+        }),
+    ))
+    .expect("partitioned run");
+    let net = cut.trials[0].net.as_ref().expect("net stats");
+    println!(
+        "partitioned wire: agreement {:.3}, {} envelopes cut by the partition",
+        cut.mean_of(|t| t.agreement),
+        net.dropped_partition
+    );
+    println!(
+        "\n(one-call happy path without the harness: king_saia::agree(n, |i| i % 2 == 0, seed))"
     );
 }

@@ -13,9 +13,9 @@
 //! cargo run --release --example replica_sync
 //! ```
 
-use king_saia::core::everywhere::{self, EverywhereConfig};
-use king_saia::core::attacks::StaticThird;
 use king_saia::core::aeba::CommitteeAttack;
+use king_saia::core::attacks::StaticThird;
+use king_saia::core::everywhere::{self, EverywhereConfig};
 use king_saia::sim::NullAdversary;
 
 fn main() {
@@ -37,7 +37,11 @@ fn main() {
 
         let stats = out.good_bit_stats();
         total_bits_max = total_bits_max.max(stats.max);
-        let verdict = if out.tournament.decided { "COMMIT" } else { "ABSTAIN" };
+        let verdict = if out.tournament.decided {
+            "COMMIT"
+        } else {
+            "ABSTAIN"
+        };
         if out.tournament.decided {
             committed += 1;
         }
@@ -46,7 +50,10 @@ fn main() {
              (valid={}, everywhere={}, max {} bits/replica, {} rounds)",
             out.valid, out.everywhere_agreement, stats.max, out.rounds
         );
-        assert!(out.valid, "a batch decision must reflect some good replica's view");
+        assert!(
+            out.valid,
+            "a batch decision must reflect some good replica's view"
+        );
     }
 
     // What the quadratic strawman would cost per replica per batch:

@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the one entry point local runs, bench runs, and
-# the roadmap's "tier-1 verify" all share.
+# Tier-1 verification plus the hygiene gates: the one entry point local
+# runs, bench runs, and the roadmap's "tier-1 verify" all share.
 #
 # Usage: scripts/ci.sh [--with-scenarios]
-#   --with-scenarios   additionally run the declarative scenario suite
-#                      (scenarios/*.scn) as a smoke test.
+#   --with-scenarios   additionally run the full declarative scenario
+#                      suite (scenarios/*.scn).
+#
+# Always runs: rustfmt check, clippy with warnings denied (the
+# documented `#[allow]` seams in-tree are the only accepted ones),
+# build, tests, and a one-scenario smoke of the composed
+# tree-adversary + partition spec.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy -q --offline --all-targets -- -D warnings
 
 echo "== cargo build --release =="
 cargo build --release --offline
@@ -15,8 +26,12 @@ cargo build --release --offline
 echo "== cargo test -q =="
 cargo test -q --offline
 
+echo "== scenario smoke (composed tree adversary + partition) =="
+cargo run --release --offline -p ba-bench --bin scenario -- \
+    scenarios/10-composed-tree-partition.scn
+
 if [[ "${1:-}" == "--with-scenarios" ]]; then
-    echo "== scenario suite =="
+    echo "== full scenario suite =="
     cargo run --release --offline -p ba-bench --bin scenario -- scenarios
 fi
 

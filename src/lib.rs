@@ -18,6 +18,7 @@
 //! | [`core`] | Algorithms 1–5: elections, AEBA with unreliable coins, the tournament, almost-everywhere→everywhere, everywhere agreement |
 //! | [`baselines`] | Phase King, Ben-Or, Rabin comparators |
 //! | [`net`] | discrete-event network: latency models, fault injection, scenario specs |
+//! | [`exp`] | the unified `Experiment` API: typed `RunSpec` over protocol × adversary × transport |
 //!
 //! ## Quickstart
 //!
@@ -38,6 +39,7 @@
 pub use ba_baselines as baselines;
 pub use ba_core as core;
 pub use ba_crypto as crypto;
+pub use ba_exp as exp;
 pub use ba_net as net;
 pub use ba_sampler as sampler;
 pub use ba_sim as sim;

@@ -38,7 +38,7 @@ fn full_stack_lopsided_inputs() {
     let out = king_saia::agree(64, |i| i % 10 != 0, 4);
     assert!(out.valid);
     assert!(out.everywhere_agreement);
-    assert_eq!(out.tournament.decided, true);
+    assert!(out.tournament.decided);
 }
 
 #[test]
@@ -61,12 +61,7 @@ fn full_stack_under_adaptive_adversaries() {
     // high-probability side for the workspace's vendored RNG streams.
     for seed in [6u64, 8] {
         let config = EverywhereConfig::for_n(n).with_seed(seed);
-        let out = everywhere::run(
-            &config,
-            &vec![true; n],
-            &mut WinnerHunter,
-            NullAdversary,
-        );
+        let out = everywhere::run(&config, &vec![true; n], &mut WinnerHunter, NullAdversary);
         assert!(out.valid, "WinnerHunter seed {seed}");
 
         let config = EverywhereConfig::for_n(n).with_seed(seed);
@@ -94,7 +89,10 @@ fn full_stack_with_phase2_forgery() {
         },
     );
     assert!(out.valid);
-    assert_eq!(out.ae.wrong, 0, "forged responses must never flip a decision");
+    assert_eq!(
+        out.ae.wrong, 0,
+        "forged responses must never flip a decision"
+    );
 }
 
 #[test]

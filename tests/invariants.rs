@@ -28,7 +28,9 @@ fn adversarial_validity_over_many_seeds() {
     let n = 64;
     for seed in 0..8u64 {
         let config = TournamentConfig::for_n(n).with_seed(2000 + seed);
-        let inputs: Vec<bool> = (0..n).map(|i| (i as u64 + seed) % 2 == 0).collect();
+        let inputs: Vec<bool> = (0..n)
+            .map(|i| (i as u64 + seed).is_multiple_of(2))
+            .collect();
         let out = tournament::run(
             &config,
             &inputs,
@@ -36,7 +38,10 @@ fn adversarial_validity_over_many_seeds() {
                 attack: CommitteeAttack::Oppose,
             },
         );
-        assert!(out.valid, "seed {seed}: adversarial run decided a non-input");
+        assert!(
+            out.valid,
+            "seed {seed}: adversarial run decided a non-input"
+        );
     }
 }
 
@@ -46,11 +51,7 @@ fn corruption_budget_is_a_hard_cap() {
     let n = 96;
     for seed in 0..6u64 {
         let config = TournamentConfig::for_n(n).with_seed(3000 + seed);
-        let out = tournament::run(
-            &config,
-            &vec![false; n],
-            &mut StaticThird::default(),
-        );
+        let out = tournament::run(&config, &vec![false; n], &mut StaticThird::default());
         let corrupted = out.corrupt.iter().filter(|&&c| c).count();
         assert!(
             corrupted <= config.params.corruption_budget(),
@@ -181,5 +182,143 @@ proptest! {
         }
         prop_assert_eq!(s.locate(total), None);
         prop_assert_eq!(s.locate(total + probe), None);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario grammar: render/parse round-trips and rejection quality
+// ---------------------------------------------------------------------------
+
+use king_saia::net::{
+    Churn, Crash, FaultPlan, InputPattern, LatencyModel, Partition, ScenarioSpec,
+};
+
+proptest! {
+    /// `render` is a right inverse of `parse`: any well-formed spec the
+    /// grammar can express survives a render→parse round trip exactly —
+    /// faults, tree-adversary section, phase timetable, probabilities
+    /// and all.
+    #[test]
+    fn scenario_render_parse_round_trips(
+        scale in (4usize..300, 1u64..12, any::<u64>()),
+        shape in (1u64..5_000, 0usize..4, 0usize..60),
+        lat in (0usize..3, 0u64..2_000, 0u64..2_000),
+        drop_m in 0u32..1_001,
+        parts in proptest::collection::vec((0usize..500, 0usize..50, 1usize..30), 0..3),
+        crash_list in proptest::collection::vec((0usize..4, 0usize..40), 0..3),
+        churn_k in 0usize..4,
+        advs in (0usize..3, 0usize..4, 0usize..5),
+        knobs in (0usize..50, 0u32..1_001, 0usize..8),
+        phase_lens in proptest::collection::vec(1usize..30, 0..4),
+        coin_m in (0u32..1_001, 0u32..1_001),
+    ) {
+        let (n, trials, seed) = scale;
+        let (delta, input_idx, rounds) = shape;
+        let (adv_idx, tree_idx, attack_idx) = advs;
+        let (corrupt, aggr_m, proto_idx) = knobs;
+        let (lat_kind, a, b) = lat;
+        let latency = match lat_kind {
+            0 => LatencyModel::Constant(a),
+            1 => LatencyModel::Uniform { lo: a.min(b), hi: a.max(b) },
+            _ => LatencyModel::HeavyTail {
+                floor: a,
+                scale: (b.max(1)) as f64,
+                alpha: 1.5,
+                cap: a + b + 10,
+            },
+        };
+        let spec = ScenarioSpec {
+            name: "roundtrip".to_owned(),
+            protocol: [
+                "aeba",
+                "flood",
+                "tournament",
+                "everywhere",
+                "phase_king",
+                "ben_or",
+                "rabin",
+                "ae_to_e",
+            ][proto_idx]
+            .to_owned(),
+            n,
+            trials,
+            seed,
+            input: [
+                InputPattern::UnanimousTrue,
+                InputPattern::UnanimousFalse,
+                InputPattern::Split,
+                InputPattern::Lopsided,
+            ][input_idx],
+            rounds: (rounds > 0).then_some(rounds),
+            delta,
+            latency,
+            faults: FaultPlan {
+                drop_prob: f64::from(drop_m) / 1_000.0,
+                partitions: parts
+                    .iter()
+                    .map(|&(b, from, dur)| Partition {
+                        boundary: 1 + b % (n - 1),
+                        from_round: from,
+                        heal_round: from + dur,
+                    })
+                    .collect(),
+                crashes: crash_list
+                    .iter()
+                    .map(|&(p, r)| Crash { proc: p, round: r })
+                    .collect(),
+                churn: (churn_k > 0).then_some(Churn {
+                    period: 4 * churn_k + 2,
+                    down: churn_k,
+                    stagger: 1,
+                }),
+            },
+            corrupt,
+            adversary: ["none", "crash", "split"][adv_idx].to_owned(),
+            tree_adversary: ["none", "static-third", "winner-hunter", "custody-buster"]
+                [tree_idx]
+                .to_owned(),
+            tree_aggressiveness: f64::from(aggr_m) / 1_000.0,
+            tree_attack: ["passive", "oppose", "split", "fixed-0", "fixed-1"][attack_idx]
+                .to_owned(),
+            phases: phase_lens
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (format!("ph{i}"), l))
+                .collect(),
+            coin_success: f64::from(coin_m.0) / 1_000.0,
+            coin_blind: f64::from(coin_m.1) / 1_000.0,
+        };
+        let rendered = spec.render();
+        let parsed = ScenarioSpec::parse(&rendered)
+            .map_err(|e| TestCaseError::Fail(format!("reparse failed: {e}\n{rendered}")))?;
+        prop_assert_eq!(spec, parsed);
+    }
+
+    /// Any single-character deletion of a known key is rejected *with a
+    /// did-you-mean suggestion* (the damaged key sits at edit distance 1
+    /// from a real one).
+    #[test]
+    fn damaged_keys_get_a_suggestion(key_idx in 0usize..16, del in 0usize..30) {
+        let known = [
+            "protocol", "trials", "seed", "input", "rounds", "delta", "latency", "drop",
+            "partition", "crash", "churn", "corrupt", "adversary", "adversary.tree",
+            "coin_success", "coin_blind",
+        ];
+        let key = known[key_idx];
+        let del = del % key.len();
+        let damaged: String = key
+            .chars()
+            .enumerate()
+            .filter(|&(i, _)| i != del)
+            .map(|(_, c)| c)
+            .collect();
+        prop_assume!(!known.contains(&damaged.as_str()) && damaged != "n" && damaged != "name");
+        let text = format!("name = x\n{damaged} = 1\n");
+        let err = ScenarioSpec::parse(&text).expect_err("damaged key must be rejected");
+        prop_assert!(
+            err.contains("unknown key") && err.contains("did you mean"),
+            "error lacked a suggestion: {}",
+            err
+        );
     }
 }

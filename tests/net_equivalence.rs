@@ -49,7 +49,10 @@ where
     assert_eq!(lockstep.rounds, net.rounds, "round counts diverge");
     assert_eq!(lockstep.corrupt, net.corrupt, "corruption traces diverge");
     assert_eq!(lockstep.faulty, net.faulty, "fault traces diverge");
-    assert!(net.faulty.iter().all(|&f| !f), "fault-free net marked faults");
+    assert!(
+        net.faulty.iter().all(|&f| !f),
+        "fault-free net marked faults"
+    );
     assert!(lockstep.outputs == net.outputs, "outputs diverge");
     assert_eq!(
         lockstep.metrics.total_bits(),
@@ -145,7 +148,7 @@ fn aeba_is_equivalent_under_split_voter() {
                 Box::new(move |p: ProcId, _| {
                     AebaProcess::new(
                         p,
-                        p.index() % 2 == 0,
+                        p.index().is_multiple_of(2),
                         g.clone(),
                         c.clone(),
                         cfg.clone(),
@@ -185,10 +188,10 @@ fn ae_to_e_is_equivalent_under_forgery() {
     }
 }
 
-/// The full Algorithm-4 stack (tournament phase 1 + Algorithm-3 phase 2)
-/// through `run_with_transport` on the zero-latency network: identical
-/// decisions, rounds, bits, and coin words to the plain `run` — the
-/// "tournament runs unchanged" contract, on the integration-test seeds.
+/// The full Algorithm-4 stack — tournament committee traffic **and**
+/// Algorithm-3 traffic, both over one shared zero-latency transport:
+/// identical decisions, rounds, bits, and coin words to the plain
+/// lockstep `run`, on the integration-test seeds.
 #[test]
 fn everywhere_stack_is_equivalent() {
     let n = 64;
@@ -196,7 +199,7 @@ fn everywhere_stack_is_equivalent() {
         let config = EverywhereConfig::for_n(n).with_seed(seed);
         let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
         let a = everywhere::run(&config, &inputs, &mut NoTreeAdversary, NullAdversary);
-        let b = everywhere::run_with_transport(
+        let (b, transport) = everywhere::run_with_transport(
             &config,
             &inputs,
             &mut NoTreeAdversary,
@@ -212,6 +215,47 @@ fn everywhere_stack_is_equivalent() {
         let aw: Vec<u16> = a.tournament.coin_words.iter().map(|w| w.value).collect();
         let bw: Vec<u16> = b.tournament.coin_words.iter().map(|w| w.value).collect();
         assert_eq!(aw, bw, "seed {seed}: tournament coin words diverge");
+        // The zero-latency wire really carried both phases' traffic and
+        // lost none of it.
+        let stats = transport.into_stats();
+        assert!(stats.sent > 0, "seed {seed}: no routed traffic");
+        assert_eq!(stats.dropped(), 0, "seed {seed}");
+        assert_eq!(stats.late, 0, "seed {seed}");
+    }
+}
+
+/// The tournament alone over the zero-latency network: byte-identical
+/// outcome (decisions, bits, coin words, per-level stats counters) to
+/// the lockstep `run` — the contract that licenses reading partition
+/// effects on elections as perturbations.
+#[test]
+fn tournament_is_equivalent_under_adversaries() {
+    use king_saia::core::attacks::StaticThird;
+    use king_saia::core::tournament::{self, TourMsg};
+
+    let n = 64;
+    for seed in [1u64, 2] {
+        let config = king_saia::core::tournament::TournamentConfig::for_n(n).with_seed(seed);
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let a = tournament::run(&config, &inputs, &mut StaticThird::default());
+        let mut transport: NetTransport<TourMsg> =
+            NetTransport::new(n, NetConfig::synchronous().with_seed(seed));
+        let b = tournament::run_with_transport(
+            &config,
+            &inputs,
+            &mut StaticThird::default(),
+            &mut transport,
+        );
+        assert_eq!(a.decisions, b.decisions, "seed {seed}");
+        assert_eq!(a.decided, b.decided, "seed {seed}");
+        assert_eq!(a.bits_per_proc, b.bits_per_proc, "seed {seed}");
+        assert_eq!(a.corrupt, b.corrupt, "seed {seed}");
+        assert_eq!(a.rounds, b.rounds, "seed {seed}");
+        assert_eq!(a.transport_rounds, b.transport_rounds, "seed {seed}");
+        assert_eq!(a.coin_words, b.coin_words, "seed {seed}");
+        let stats = transport.into_stats();
+        assert!(stats.sent > 0, "committee traffic must be routed");
+        assert_eq!(stats.delivered, stats.sent, "zero-latency loses nothing");
     }
 }
 

@@ -73,7 +73,10 @@ fn rounds_grow_slower_than_any_power() {
         everywhere::run(&config, &inputs, &mut NoTreeAdversary, NullAdversary).rounds as f64
     };
     let g = rounds_at(256) / rounds_at(64);
-    assert!(g < 2.0, "rounds grew ×{g} for 4× n; expected polylog growth");
+    assert!(
+        g < 2.0,
+        "rounds grew ×{g} for 4× n; expected polylog growth"
+    );
 }
 
 /// Theorem 2: the tournament leaves ≥ 1 − 1/log n of good processors in
@@ -96,12 +99,7 @@ fn ae_agreement_fraction_target() {
 #[test]
 fn coin_subsequence_two_thirds_good() {
     let out = king_saia::agree(256, |_| true, 5);
-    let good = out
-        .tournament
-        .coin_words
-        .iter()
-        .filter(|w| w.good)
-        .count();
+    let good = out.tournament.coin_words.iter().filter(|w| w.good).count();
     let s = out.tournament.coin_words.len();
     assert!(s > 0);
     assert!(3 * good >= 2 * s, "only {good}/{s} genuine coin words");

@@ -38,7 +38,11 @@ impl Criterion {
     /// them to that file as JSON lines. Called by [`criterion_group!`].
     pub fn final_summary(&self) {
         if let Ok(path) = std::env::var("BENCH_JSON") {
-            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
                 for (name, ns) in &self.results {
                     let _ = writeln!(f, "{{\"bench\":\"{name}\",\"ns_per_iter\":{ns:.2}}}");
                 }
@@ -53,9 +57,7 @@ impl Criterion {
 }
 
 fn format_ns(ns: f64) -> String {
-    if ns >= 1_000_000.0 {
-        format!("{:.1}", ns)
-    } else if ns >= 100.0 {
+    if ns >= 100.0 {
         format!("{:.1}", ns)
     } else {
         format!("{:.2}", ns)
@@ -89,7 +91,10 @@ impl BenchmarkGroup<'_> {
         // routine is so slow a single iteration suffices).
         let mut iters: u64 = 1;
         loop {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
                 break;
@@ -99,7 +104,10 @@ impl BenchmarkGroup<'_> {
 
         let mut samples: Vec<f64> = (0..self.sample_size)
             .map(|_| {
-                let mut b = Bencher { iters, elapsed: Duration::ZERO };
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
                 f(&mut b);
                 b.elapsed.as_nanos() as f64 / iters as f64
             })

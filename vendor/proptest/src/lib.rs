@@ -45,7 +45,9 @@ impl TestRng {
         for b in test_name.bytes() {
             h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
         }
-        TestRng(StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
     }
 }
 
@@ -189,6 +191,20 @@ impl<T: RangePrim> Strategy for RangeFrom<T> {
     type Value = T;
     fn pick(&self, rng: &mut TestRng) -> T {
         rng.gen_range(self.start..=T::MAX_VALUE)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.pick(rng), self.1.pick(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.pick(rng), self.1.pick(rng), self.2.pick(rng))
     }
 }
 
