@@ -1,0 +1,157 @@
+//! Coordinator equivocation: the message-level attack that separates the
+//! leader-based baselines from the committee stack.
+//!
+//! The phase-king and Rabin baselines funnel each phase through a
+//! coordinator role — the rotating king's tie-break, the overwhelming
+//! majority threshold over reports. [`CoordEquivocator`] corrupts a fixed
+//! prefix of processors and has every corrupted sender tell each
+//! recipient what its parity wants to hear: `true` to even ids, `false`
+//! to odd ids, on **every** message kind of the protocol. Below the
+//! design tolerance the thresholds absorb the lie; above it the even and
+//! odd halves of the good population are driven to opposite decisions —
+//! a deterministic agreement violation, which the `ba-hunt` search engine
+//! rediscovers and shrinks.
+
+use crate::phase_king::{PhaseKingProcess, PkMsg};
+use crate::rabin::{RabinProcess, RbMsg};
+use ba_sim::{AdvAction, AdvView, Adversary, Envelope, Payload, ProcId, SimRng};
+
+/// Equivocating adversary for the leader-based baselines. Corrupts the
+/// first `count` processors at round 0 (dropping their honest pending
+/// traffic) and injects per-recipient-parity payloads from each of them
+/// every round.
+#[derive(Clone, Copy, Debug)]
+pub struct CoordEquivocator {
+    /// Processors corrupted (a prefix of the id space).
+    pub count: usize,
+}
+
+impl CoordEquivocator {
+    /// Corrupts the first `count` processors.
+    pub fn new(count: usize) -> Self {
+        CoordEquivocator { count }
+    }
+
+    /// The shared frame: round-0 takeover plus one injection batch per
+    /// (corrupt sender, recipient) pair, with payloads chosen by the
+    /// recipient's parity. `payloads` returns every message kind the
+    /// protocol could be listening for — recipients filter by variant and
+    /// round, so injecting all kinds every round keeps the adversary
+    /// protocol-phase-agnostic.
+    fn frame<M: Payload>(
+        &self,
+        round: usize,
+        n: usize,
+        mut payloads: impl FnMut(bool) -> Vec<M>,
+    ) -> AdvAction<M> {
+        let count = self.count.min(n);
+        let mut action = AdvAction::none();
+        if round == 0 {
+            action.corrupt = (0..count).map(ProcId::new).collect();
+            action.drop_pending_from = action.corrupt.clone();
+        }
+        // Round-0 targets are not yet flagged corrupt when the action is
+        // composed, so the sender set is the prefix itself. Corrupted
+        // processors skip their own round logic from round 1 on, so these
+        // injections are the only traffic they produce.
+        for c in (0..count).map(ProcId::new) {
+            for to in 0..n {
+                let bit = to % 2 == 0;
+                for m in payloads(bit) {
+                    action.inject.push(Envelope::new(c, ProcId::new(to), m));
+                }
+            }
+        }
+        action
+    }
+}
+
+impl Adversary<PhaseKingProcess> for CoordEquivocator {
+    fn act(&mut self, view: &AdvView<'_, PhaseKingProcess>, _rng: &mut SimRng) -> AdvAction<PkMsg> {
+        self.frame(view.round(), view.n(), |bit| {
+            vec![PkMsg::Vote(bit), PkMsg::King(bit)]
+        })
+    }
+}
+
+impl Adversary<RabinProcess> for CoordEquivocator {
+    fn act(&mut self, view: &AdvView<'_, RabinProcess>, _rng: &mut SimRng) -> AdvAction<RbMsg> {
+        self.frame(view.round(), view.n(), |bit| {
+            vec![RbMsg::Report(bit), RbMsg::Propose(Some(bit))]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PhaseKingConfig, RabinConfig};
+    use ba_sim::SimBuilder;
+
+    fn run_phase_king(n: usize, count: usize, seed: u64) -> ba_sim::RunOutcome<bool> {
+        let cfg = PhaseKingConfig::for_n(n);
+        SimBuilder::new(n)
+            .seed(seed)
+            .max_corruptions(count)
+            .build(
+                |p, _| PhaseKingProcess::new(cfg, p.index() % 2 == 0),
+                CoordEquivocator::new(count),
+            )
+            .run(cfg.total_rounds() + 2)
+    }
+
+    fn run_rabin(n: usize, count: usize, seed: u64) -> ba_sim::RunOutcome<bool> {
+        let cfg = RabinConfig::for_n(n);
+        SimBuilder::new(n)
+            .seed(seed)
+            .max_corruptions(count)
+            .build(
+                |p, _| RabinProcess::new(cfg, p.index() % 2 == 0),
+                CoordEquivocator::new(count),
+            )
+            .run(cfg.total_rounds() + 2)
+    }
+
+    #[test]
+    fn phase_king_tolerates_design_t() {
+        // t = n/4 - 1 equivocators: at least one phase has a good king.
+        let n = 24;
+        let t = PhaseKingConfig::for_n(n).t;
+        let out = run_phase_king(n, t, 3);
+        assert!(out.all_good_agree(), "outputs: {:?}", out.outputs);
+    }
+
+    #[test]
+    fn phase_king_breaks_above_tolerance() {
+        // n/3 corruptions cover every king of the t+1 phases, so no phase
+        // ever reconciles the parity split: evens decide true, odds false.
+        let n = 24;
+        let out = run_phase_king(n, n / 3, 3);
+        assert!(!out.all_good_agree(), "outputs: {:?}", out.outputs);
+    }
+
+    #[test]
+    fn rabin_tolerates_design_t() {
+        let n = 25;
+        let t = RabinConfig::for_n(n).t;
+        let out = run_rabin(n, t, 5);
+        assert!(out.all_good_agree(), "outputs: {:?}", out.outputs);
+    }
+
+    #[test]
+    fn rabin_breaks_above_tolerance() {
+        // n/3 per-parity report splitting pushes each parity class past
+        // the decide threshold on its own bit in the first phase.
+        let n = 25;
+        let out = run_rabin(n, n / 3, 5);
+        assert!(!out.all_good_agree(), "outputs: {:?}", out.outputs);
+    }
+
+    #[test]
+    fn break_is_deterministic_across_seeds() {
+        for seed in 0..4 {
+            let out = run_phase_king(24, 8, seed);
+            assert!(!out.all_good_agree(), "seed {seed}: {:?}", out.outputs);
+        }
+    }
+}

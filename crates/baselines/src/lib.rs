@@ -22,16 +22,23 @@
 //! * [`FloodProcess`] — all-to-all flooding majority: the naive strawman
 //!   that pays quadratic messages per round and still falls to a single
 //!   equivocator (its unit tests demonstrate the break).
+//!
+//! [`CoordEquivocator`] is the shared message-level attack against the
+//! leader-based baselines: per-recipient-parity equivocation that the
+//! protocols absorb below their design tolerance and deterministically
+//! fall to above it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ben_or;
+mod equivocate;
 mod flood;
 mod phase_king;
 mod rabin;
 
 pub use ben_or::{BenOrConfig, BenOrProcess};
+pub use equivocate::CoordEquivocator;
 pub use flood::{FloodConfig, FloodMsg, FloodProcess};
-pub use phase_king::{PhaseKingConfig, PhaseKingProcess};
-pub use rabin::{RabinConfig, RabinProcess};
+pub use phase_king::{PhaseKingConfig, PhaseKingProcess, PkMsg};
+pub use rabin::{RabinConfig, RabinProcess, RbMsg};

@@ -22,9 +22,17 @@ fn main() {
         "E3a: good-processor agreement fraction vs n (budget-level static adversary)",
         &["n", "agreement", "target", "valid%", "clean_agr"],
     );
-    for n in [64usize, 128, 256, 512, 1024] {
-        let adv = e.run(&tournament(n, TreeAttack::StaticThird { attack: oppose }));
-        let clean = e.run(&tournament(n, TreeAttack::None).seeds(1000));
+    // One template per column, swept over n through the shared sweep
+    // axis (the code spelling of the grammar's `n = 64,128,...`).
+    const SIZES: &[usize] = &[64, 128, 256, 512, 1024];
+    let adv_rows = tournament(SIZES[0], TreeAttack::StaticThird { attack: oppose }).sweep_n(SIZES);
+    let clean_rows = tournament(SIZES[0], TreeAttack::None)
+        .seeds(1000)
+        .sweep_n(SIZES);
+    for (adv_spec, clean_spec) in adv_rows.iter().zip(&clean_rows) {
+        let n = adv_spec.n;
+        let adv = e.run(adv_spec);
+        let clean = e.run(clean_spec);
         let target = 1.0 - 1.0 / (n as f64).log2();
         let agreement = adv.mean_of(|t| t.agreement);
         let valid = 100.0 * adv.frac_of(|t| t.valid.unwrap_or(false));

@@ -74,14 +74,26 @@ fn main() {
     let mut rows = Vec::new();
     let mut failed = false;
     for file in &files {
+        // An `n = 64,128,256` sweep expands to one row per size before
+        // lowering; a single-`n` spec expands to itself.
         let parsed = std::fs::read_to_string(file)
             .map_err(|e| e.to_string())
             .and_then(|text| ScenarioSpec::parse(&text))
-            .and_then(|spec| run_scenario(&spec));
+            .map(|spec| spec.expand_n());
         match parsed {
-            Ok(report) => {
-                table.row(&report.table_cells());
-                rows.push(report.json_row());
+            Ok(specs) => {
+                for spec in &specs {
+                    match run_scenario(spec) {
+                        Ok(report) => {
+                            table.row(&report.table_cells());
+                            rows.push(report.json_row());
+                        }
+                        Err(e) => {
+                            eprintln!("error: {}: {e}", file.display());
+                            failed = true;
+                        }
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("error: {}: {e}", file.display());

@@ -103,6 +103,10 @@ impl<Tr: Transport<StackMsg> + ?Sized> Transport<TourMsg> for TourLens<'_, Tr> {
     fn is_faulty(&self, round: usize, p: ProcId) -> bool {
         self.0.is_faulty(round, p)
     }
+
+    fn mark_phase(&mut self, round: usize, name: &str) {
+        self.0.mark_phase(round, name);
+    }
 }
 
 /// Projects a `Transport<StackMsg>` down to Algorithm 3's message type
@@ -134,6 +138,10 @@ impl<Tr: Transport<StackMsg>> Transport<AeMsg> for AeLens<Tr> {
 
     fn is_faulty(&self, round: usize, p: ProcId) -> bool {
         self.inner.is_faulty(self.base + round, p)
+    }
+
+    fn mark_phase(&mut self, round: usize, name: &str) {
+        self.inner.mark_phase(self.base + round, name);
     }
 }
 
@@ -253,6 +261,10 @@ where
         .params
         .corruption_budget()
         .saturating_sub(t_out.corrupt.iter().filter(|&&c| c).count());
+    // The engine-driven phase 2 never announces exchanges itself; one
+    // explicit mark closes the tournament's last derived phase and
+    // attributes everything after the handoff to "ae".
+    transport.mark_phase(t_out.transport_rounds, "ae");
     let (sim_outcome, lens) = {
         let pre_corrupt = t_out.corrupt.clone();
         let sim = SimBuilder::new(n)

@@ -595,7 +595,7 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
                 }
             }
         }
-        let inbox = route(net, &mut net_round, outbox);
+        let inbox = route(net, &mut net_round, &format!("L{level}:expose"), outbox);
         let mut exposed: HashSet<(usize, usize, usize)> = HashSet::new();
         for e in &inbox {
             if let TourMsg::Expose {
@@ -683,7 +683,7 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
             }
             expected.push((node, aid, senders.len() * recips.len()));
         }
-        let inbox = route(net, &mut net_round, outbox);
+        let inbox = route(net, &mut net_round, &format!("L{level}:winners"), outbox);
         let mut received: HashMap<usize, usize> = HashMap::new();
         for e in &inbox {
             if let TourMsg::WinnerShare {
@@ -774,7 +774,7 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
                 outbox.push((owner, m, TourMsg::RootCoin { j: j as u32 }));
             }
         }
-        let inbox = route(net, &mut net_round, outbox);
+        let inbox = route(net, &mut net_round, "root:coin", outbox);
         for e in &inbox {
             if let TourMsg::RootCoin { j: jj } = e.payload {
                 // Count only on-time openings: a word arriving after its
@@ -895,9 +895,14 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
 fn route<Tr: Transport<TourMsg> + ?Sized>(
     net: &mut Tr,
     net_round: &mut usize,
+    label: &str,
     outbox: Vec<(usize, usize, TourMsg)>,
 ) -> Vec<Envelope<TourMsg>> {
     let r = *net_round;
+    // Announce the exchange so a stats-keeping transport can attribute
+    // this round's traffic to it (successive same-label exchanges
+    // coalesce into one derived phase).
+    net.mark_phase(r, label);
     for (from, to, msg) in outbox {
         let from = ProcId::new(from);
         if net.is_online(r, from) {

@@ -46,12 +46,14 @@
 #![warn(missing_docs)]
 
 mod experiment;
+pub mod hunt;
 mod runner;
 pub mod scenario;
 mod spec;
 mod stats;
 
 pub use experiment::{Experiment, Metric};
+pub use hunt::{hunt, shrink_spec, Finding, HuntConfig, HuntReport, Violation};
 pub use runner::{run, run_trial, RunReport, TrialOutcome};
 pub use spec::{
     AdversarySpec, AeToESpec, AebaSpec, GossipDegree, Knowledgeable, MessageAdversary, OutputSpec,

@@ -6,8 +6,8 @@ use crate::spec::{
 };
 use crate::stats::par_trials;
 use ba_baselines::{
-    BenOrConfig, BenOrProcess, FloodConfig, FloodProcess, PhaseKingConfig, PhaseKingProcess,
-    RabinConfig, RabinProcess,
+    BenOrConfig, BenOrProcess, CoordEquivocator, FloodConfig, FloodProcess, PhaseKingConfig,
+    PhaseKingProcess, RabinConfig, RabinProcess,
 };
 use ba_core::ae_to_e::{AeToEConfig, AeToEProcess};
 use ba_core::aeba::{AebaConfig, AebaProcess, UnreliableCoin};
@@ -65,7 +65,9 @@ pub struct TrialOutcome {
 }
 
 impl TrialOutcome {
-    fn base(seed: u64) -> Self {
+    /// A zeroed outcome at `seed`, for struct-update construction (the
+    /// runner's trial paths and the hunt oracles' unit tests).
+    pub fn base(seed: u64) -> Self {
         TrialOutcome {
             seed,
             agreement: 0.0,
@@ -276,17 +278,24 @@ pub fn run_trial(spec: &RunSpec, trial: u64) -> Result<TrialOutcome, String> {
         }
         Protocol::PhaseKing => {
             let pc = PhaseKingConfig::for_n(n);
+            let cap = cap.unwrap_or(pc.total_rounds() + 2);
+            let make = move |p: ProcId, _: usize| PhaseKingProcess::new(pc, input.bit(p.index()));
+            if let MessageAdversary::Equivocate { count } = spec.adversary.message {
+                return Ok(engine_case(
+                    spec,
+                    seed,
+                    cfg,
+                    cap,
+                    None,
+                    make,
+                    CoordEquivocator::new(count),
+                    |_| false,
+                ));
+            }
             let adv = generic_static(spec)?;
-            Ok(engine_case(
-                spec,
-                seed,
-                cfg,
-                cap.unwrap_or(pc.total_rounds() + 2),
-                None,
-                move |p, _| PhaseKingProcess::new(pc, input.bit(p.index())),
-                adv,
-                |_| false,
-            ))
+            Ok(engine_case(spec, seed, cfg, cap, None, make, adv, |_| {
+                false
+            }))
         }
         Protocol::BenOr => {
             let pc = BenOrConfig::for_n(n);
@@ -305,17 +314,24 @@ pub fn run_trial(spec: &RunSpec, trial: u64) -> Result<TrialOutcome, String> {
         Protocol::Rabin => {
             let mut pc = RabinConfig::for_n(n);
             pc.beacon_seed ^= seed; // fresh beacon per trial
+            let cap = cap.unwrap_or(pc.total_rounds() + 2);
+            let make = move |p: ProcId, _: usize| RabinProcess::new(pc, input.bit(p.index()));
+            if let MessageAdversary::Equivocate { count } = spec.adversary.message {
+                return Ok(engine_case(
+                    spec,
+                    seed,
+                    cfg,
+                    cap,
+                    None,
+                    make,
+                    CoordEquivocator::new(count),
+                    |_| false,
+                ));
+            }
             let adv = generic_static(spec)?;
-            Ok(engine_case(
-                spec,
-                seed,
-                cfg,
-                cap.unwrap_or(pc.total_rounds() + 2),
-                None,
-                move |p, _| RabinProcess::new(pc, input.bit(p.index())),
-                adv,
-                |_| false,
-            ))
+            Ok(engine_case(spec, seed, cfg, cap, None, make, adv, |_| {
+                false
+            }))
         }
         Protocol::Aeba(aeba) => aeba_trial(spec, aeba, seed, cfg),
         Protocol::AeToE(ae) => ae_to_e_trial(spec, ae, seed, cfg),
@@ -666,6 +682,44 @@ mod tests {
         assert!(!t.level_stats.is_empty());
         assert!(t.coins.as_ref().is_some_and(|c| !c.is_empty()));
         assert!(t.net.as_ref().is_some_and(|n| n.sent > 0));
+    }
+
+    #[test]
+    fn tournament_derives_per_exchange_phases() {
+        // No configured schedule: the stats breakdown comes entirely from
+        // the executor's mark_phase announcements.
+        let spec = RunSpec::tournament(64).trials(1).seeds(3);
+        let report = run(&spec).expect("run");
+        let net = report.trials[0].net.clone().expect("net stats");
+        let names: Vec<&str> = net.per_phase.iter().map(|p| p.name.as_str()).collect();
+        assert!(
+            names.iter().any(|n| n.ends_with(":expose")),
+            "phases: {names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n.ends_with(":winners")),
+            "phases: {names:?}"
+        );
+        assert!(names.contains(&"root:coin"), "phases: {names:?}");
+        // The first mark lands on round 0, so every sent message is
+        // attributed to some exchange.
+        let attributed: u64 = net.per_phase.iter().map(|p| p.sent).sum();
+        assert_eq!(attributed, net.sent);
+    }
+
+    #[test]
+    fn everywhere_attributes_the_algorithm3_handoff() {
+        let spec = RunSpec::everywhere(64).trials(1).seeds(3);
+        let report = run(&spec).expect("run");
+        let net = report.trials[0].net.clone().expect("net stats");
+        let names: Vec<&str> = net.per_phase.iter().map(|p| p.name.as_str()).collect();
+        assert!(
+            names.iter().any(|n| n.ends_with(":expose")),
+            "phases: {names:?}"
+        );
+        assert_eq!(names.last(), Some(&"ae"), "phases: {names:?}");
+        let ae = net.per_phase.last().unwrap();
+        assert!(ae.sent > 0, "phase 2 traffic lands in the ae phase");
     }
 
     #[test]

@@ -31,6 +31,15 @@ fn parse_attack(name: &str) -> Result<CommitteeAttack, String> {
 /// adversary names, tree adversaries on message-level protocols).
 pub fn lower(spec: &ScenarioSpec) -> Result<RunSpec, String> {
     let at = |msg: String| format!("scenario `{}`: {msg}", spec.name);
+    // A swept spec describes several runs; callers expand before lowering
+    // (`expand_n`), so reaching here with extra sizes would silently run
+    // only the first one.
+    if !spec.sweep_n.is_empty() {
+        return Err(at(format!(
+            "spec sweeps n over {:?}; expand with `expand_n()` before lowering",
+            spec.sweep_n
+        )));
+    }
     let protocol = match spec.protocol.as_str() {
         "aeba" => Protocol::Aeba(AebaSpec {
             rounds: spec.rounds.unwrap_or_else(|| AebaSpec::default().rounds),
@@ -55,6 +64,9 @@ pub fn lower(spec: &ScenarioSpec) -> Result<RunSpec, String> {
             count: spec.corrupt,
         },
         "split" => MessageAdversary::SplitVotes {
+            count: spec.corrupt,
+        },
+        "equivocate" => MessageAdversary::Equivocate {
             count: spec.corrupt,
         },
         other => return Err(at(format!("unknown adversary `{other}`"))),
@@ -120,6 +132,7 @@ pub fn lower(spec: &ScenarioSpec) -> Result<RunSpec, String> {
             faults: spec.faults.clone(),
             seed: 0, // per-trial seed derived by the runner
             schedule: None,
+            ordering: spec.ordering,
         });
     match run_spec.protocol {
         // For AEBA `rounds` is the protocol length, folded into the

@@ -162,6 +162,13 @@ pub enum MessageAdversary {
         /// Processors corrupted.
         count: usize,
     },
+    /// Coordinator equivocation ([`ba_baselines::CoordEquivocator`]):
+    /// corrupt processors tell each recipient what its parity wants to
+    /// hear. Targets the leader-based baselines (phase_king, rabin).
+    Equivocate {
+        /// Processors corrupted.
+        count: usize,
+    },
     /// Algorithm-3 response forgery ([`ba_core::attacks::ResponseForger`]).
     Forge {
         /// Processors corrupted.
@@ -193,6 +200,7 @@ impl MessageAdversary {
             MessageAdversary::None => 0,
             MessageAdversary::Crash { count }
             | MessageAdversary::SplitVotes { count }
+            | MessageAdversary::Equivocate { count }
             | MessageAdversary::Forge { count, .. }
             | MessageAdversary::Overload { count, .. }
             | MessageAdversary::GuessLabels { count, .. } => count,
@@ -417,6 +425,21 @@ impl RunSpec {
     /// Rabin baseline.
     pub fn rabin(n: usize) -> Self {
         Self::new(Protocol::Rabin, n)
+    }
+
+    /// Expands this spec into one row per population size — the same
+    /// `n`-sweep axis the scenario grammar spells `n = 64,128,256` (see
+    /// `ScenarioSpec::expand_n`), so `exp_*` loops and hunt sweeps built
+    /// in code share one mechanism instead of hand-rolling `for n in`.
+    pub fn sweep_n(&self, sizes: &[usize]) -> Vec<RunSpec> {
+        sizes
+            .iter()
+            .map(|&n| {
+                let mut row = self.clone();
+                row.n = n;
+                row
+            })
+            .collect()
     }
 
     /// Sets the trial count.

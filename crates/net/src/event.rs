@@ -28,7 +28,68 @@
 //! common already-ordered emission pattern, verified before sorting).
 //! The `event_queue` criterion group in `ba-bench` measures the win.
 
+use ba_sim::SimRng;
+use rand::Rng;
 use std::collections::{BTreeMap, VecDeque};
+
+/// How events scheduled for the **same instant** are ordered at drain
+/// time. The `(time, tie, seq)` key decides *when* an event fires; the
+/// policy decides the order of a same-time batch handed to the consumer.
+///
+/// Every policy is deterministic per seed: [`DeliveryPolicy::Fifo`]
+/// consumes no randomness at all (byte-identical to the historical
+/// queue), [`DeliveryPolicy::AdversarialLifo`] is a pure reversal, and
+/// [`DeliveryPolicy::Shuffle`] draws a Fisher–Yates permutation from the
+/// dedicated ordering stream the caller supplies — never from the
+/// latency/drop stream, so switching policies cannot perturb which
+/// messages are dropped or how long they fly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DeliveryPolicy {
+    /// `(tie, seq)` order — the emission order the engine produced.
+    #[default]
+    Fifo,
+    /// Reversed emission order: the freshest message of each instant is
+    /// heard first. A classic scheduler attack surface for protocols
+    /// that fold their inbox asymmetrically.
+    AdversarialLifo,
+    /// A seeded uniform permutation per same-instant batch.
+    Shuffle,
+}
+
+impl DeliveryPolicy {
+    /// Canonical lowercase name (the scenario grammar's `net.ordering`
+    /// values).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeliveryPolicy::Fifo => "fifo",
+            DeliveryPolicy::AdversarialLifo => "lifo",
+            DeliveryPolicy::Shuffle => "shuffle",
+        }
+    }
+
+    /// Parses a canonical name back into a policy.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fifo" => Some(DeliveryPolicy::Fifo),
+            "lifo" => Some(DeliveryPolicy::AdversarialLifo),
+            "shuffle" => Some(DeliveryPolicy::Shuffle),
+            _ => None,
+        }
+    }
+
+    /// All policies, in grammar order.
+    pub const ALL: [DeliveryPolicy; 3] = [
+        DeliveryPolicy::Fifo,
+        DeliveryPolicy::AdversarialLifo,
+        DeliveryPolicy::Shuffle,
+    ];
+}
+
+/// A throwaway stream for policy-free drains. [`DeliveryPolicy::Fifo`]
+/// never draws from its stream, so any seed works here.
+fn no_ordering_rng() -> SimRng {
+    ba_sim::derive_rng(0, 0)
+}
 
 /// One queued event (internal representation).
 #[derive(Debug)]
@@ -156,6 +217,25 @@ impl<T> EventQueue<T> {
     /// `(time, tie, seq)` order — one tree operation per distinct firing
     /// time instead of one heap pop per event.
     pub fn drain_due(&mut self, now: u64, f: &mut dyn FnMut(u64, T)) {
+        self.drain_due_policy(now, DeliveryPolicy::Fifo, &mut no_ordering_rng(), f);
+    }
+
+    /// [`EventQueue::drain_due`] with a same-instant [`DeliveryPolicy`].
+    ///
+    /// The policy reorders each same-time batch *after* the `(tie, seq)`
+    /// sort, so *which* events are due and *when* they fire never depend
+    /// on it. `rng` is the caller's dedicated ordering stream:
+    /// [`DeliveryPolicy::Shuffle`] draws one Fisher–Yates permutation per
+    /// batch from it; the other policies leave it untouched, which is
+    /// what keeps [`DeliveryPolicy::Fifo`] byte-identical to the
+    /// plain [`EventQueue::drain_due`].
+    pub fn drain_due_policy(
+        &mut self,
+        now: u64,
+        policy: DeliveryPolicy,
+        rng: &mut SimRng,
+        f: &mut dyn FnMut(u64, T),
+    ) {
         while let Some((&time, _)) = self.buckets.first_key_value() {
             if time > now {
                 return;
@@ -163,8 +243,27 @@ impl<T> EventQueue<T> {
             let mut bucket = self.buckets.remove(&time).expect("bucket exists");
             self.len -= bucket.entries.len();
             bucket.ensure_sorted();
-            for e in bucket.entries {
-                f(time, e.value);
+            match policy {
+                DeliveryPolicy::Fifo => {
+                    for e in bucket.entries {
+                        f(time, e.value);
+                    }
+                }
+                DeliveryPolicy::AdversarialLifo => {
+                    for e in bucket.entries.into_iter().rev() {
+                        f(time, e.value);
+                    }
+                }
+                DeliveryPolicy::Shuffle => {
+                    let mut batch: Vec<Entry<T>> = bucket.entries.into();
+                    for i in (1..batch.len()).rev() {
+                        let j = rng.gen_range(0..=i);
+                        batch.swap(i, j);
+                    }
+                    for e in batch {
+                        f(time, e.value);
+                    }
+                }
             }
         }
     }
@@ -251,6 +350,73 @@ mod tests {
         a.drain_due(u64::MAX, &mut |t, v| drained.push((t, v)));
         assert_eq!(drained.last(), Some(&(7, 4)));
         assert!(a.is_empty());
+    }
+
+    /// Builds the standard two-instant fixture and drains it under a
+    /// policy; returns the delivered values in order.
+    fn drain_policy(policy: DeliveryPolicy, seed: u64) -> Vec<u32> {
+        let mut q = EventQueue::new();
+        for (i, &(t, tie)) in [(5u64, 2u64), (5, 0), (5, 1), (9, 1), (9, 0)]
+            .iter()
+            .enumerate()
+        {
+            q.push(t, tie, i as u32);
+        }
+        let mut rng = ba_sim::derive_rng(seed, 7);
+        let mut got = Vec::new();
+        q.drain_due_policy(u64::MAX, policy, &mut rng, &mut |_, v| got.push(v));
+        got
+    }
+
+    #[test]
+    fn fifo_policy_is_byte_identical_to_plain_drain() {
+        assert_eq!(drain_policy(DeliveryPolicy::Fifo, 1), vec![1, 2, 0, 4, 3]);
+        let mut q = EventQueue::new();
+        for (i, &(t, tie)) in [(5u64, 2u64), (5, 0), (5, 1), (9, 1), (9, 0)]
+            .iter()
+            .enumerate()
+        {
+            q.push(t, tie, i as u32);
+        }
+        let mut plain = Vec::new();
+        q.drain_due(u64::MAX, &mut |_, v| plain.push(v));
+        assert_eq!(plain, drain_policy(DeliveryPolicy::Fifo, 99));
+    }
+
+    #[test]
+    fn lifo_policy_reverses_each_instant_batch() {
+        // Per-batch reversal of the fifo order, never across instants.
+        assert_eq!(
+            drain_policy(DeliveryPolicy::AdversarialLifo, 1),
+            vec![0, 2, 1, 3, 4]
+        );
+    }
+
+    #[test]
+    fn shuffle_policy_permutes_within_instants_deterministically() {
+        let a = drain_policy(DeliveryPolicy::Shuffle, 42);
+        let b = drain_policy(DeliveryPolicy::Shuffle, 42);
+        assert_eq!(a, b, "same ordering seed, same permutation");
+        // Each instant's batch stays intact as a set.
+        let first: std::collections::BTreeSet<u32> = a[..3].iter().copied().collect();
+        assert_eq!(first, [0u32, 1, 2].into_iter().collect());
+        let second: std::collections::BTreeSet<u32> = a[3..].iter().copied().collect();
+        assert_eq!(second, [3u32, 4].into_iter().collect());
+        // Some seed produces a non-fifo order (the permutation is real).
+        let fifo = drain_policy(DeliveryPolicy::Fifo, 0);
+        assert!(
+            (0..20u64).any(|s| drain_policy(DeliveryPolicy::Shuffle, s) != fifo),
+            "shuffle never deviated from fifo over 20 seeds"
+        );
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in DeliveryPolicy::ALL {
+            assert_eq!(DeliveryPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(DeliveryPolicy::parse("random"), None);
+        assert_eq!(DeliveryPolicy::default(), DeliveryPolicy::Fifo);
     }
 
     #[test]

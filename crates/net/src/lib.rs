@@ -71,8 +71,8 @@ mod latency;
 mod scenario;
 mod transport;
 
-pub use event::EventQueue;
+pub use event::{DeliveryPolicy, EventQueue};
 pub use fault::{Churn, Crash, DropCause, FaultPlan, Partition};
 pub use latency::LatencyModel;
 pub use scenario::{InputPattern, ScenarioSpec};
-pub use transport::{NetConfig, NetStats, NetTransport, PhaseNetStats, NET_LABEL};
+pub use transport::{NetConfig, NetStats, NetTransport, PhaseNetStats, NET_LABEL, ORDER_LABEL};

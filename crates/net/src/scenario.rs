@@ -40,6 +40,7 @@
 //! API executes. Unknown keys are rejected with a did-you-mean
 //! suggestion.
 
+use crate::event::DeliveryPolicy;
 use crate::fault::{Churn, Crash, FaultPlan, Partition};
 use crate::latency::LatencyModel;
 use crate::transport::NetConfig;
@@ -77,8 +78,12 @@ pub struct ScenarioSpec {
     pub name: String,
     /// Protocol selector (interpreted by the runner).
     pub protocol: String,
-    /// Number of processors.
+    /// Number of processors (the first value of the `n` key).
     pub n: usize,
+    /// Additional population sizes: `n = 64,128,256` parses the first
+    /// size into [`ScenarioSpec::n`] and the rest here;
+    /// [`ScenarioSpec::expand_n`] turns the spec into one row per size.
+    pub sweep_n: Vec<usize>,
     /// Independent trials (seeds `seed..seed+trials`).
     pub trials: u64,
     /// Base seed.
@@ -113,6 +118,8 @@ pub struct ScenarioSpec {
     pub coin_success: f64,
     /// AEBA fraction of processors mis-seeing successful coins.
     pub coin_blind: f64,
+    /// Same-instant delivery ordering (`net.ordering`).
+    pub ordering: DeliveryPolicy,
 }
 
 impl ScenarioSpec {
@@ -127,6 +134,7 @@ impl ScenarioSpec {
             name: String::new(),
             protocol: String::new(),
             n: 0,
+            sweep_n: Vec::new(),
             trials: 4,
             seed: 1,
             input: InputPattern::Split,
@@ -142,6 +150,7 @@ impl ScenarioSpec {
             phases: Vec::new(),
             coin_success: 0.8,
             coin_blind: 0.02,
+            ordering: DeliveryPolicy::Fifo,
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -157,7 +166,16 @@ impl ScenarioSpec {
             match key {
                 "name" => name = Some(value.to_owned()),
                 "protocol" => protocol = Some(value.to_owned()),
-                "n" => n = Some(parse_num::<usize>(value).map_err(|e| at(&e))?),
+                "n" => {
+                    // Sweep axis: `n = 64,128,256` expands to one row
+                    // per size via `expand_n`.
+                    let mut sizes = Vec::new();
+                    for part in value.split(',') {
+                        sizes.push(parse_num::<usize>(part.trim()).map_err(|e| at(&e))?);
+                    }
+                    n = Some(sizes[0]);
+                    spec.sweep_n = sizes.split_off(1);
+                }
                 "trials" => spec.trials = parse_num(value).map_err(|e| at(&e))?,
                 "seed" => spec.seed = parse_num(value).map_err(|e| at(&e))?,
                 "rounds" => spec.rounds = Some(parse_num(value).map_err(|e| at(&e))?),
@@ -169,6 +187,13 @@ impl ScenarioSpec {
                     spec.tree_aggressiveness = parse_prob(value).map_err(|e| at(&e))?
                 }
                 "adversary.tree.attack" => spec.tree_attack = value.to_owned(),
+                "net.ordering" => {
+                    spec.ordering = DeliveryPolicy::parse(value).ok_or_else(|| {
+                        at(&format!(
+                            "unknown delivery ordering `{value}` (fifo|lifo|shuffle)"
+                        ))
+                    })?
+                }
                 "drop" => spec.faults.drop_prob = parse_prob(value).map_err(|e| at(&e))?,
                 "coin_success" => spec.coin_success = parse_prob(value).map_err(|e| at(&e))?,
                 "coin_blind" => spec.coin_blind = parse_prob(value).map_err(|e| at(&e))?,
@@ -234,7 +259,10 @@ impl ScenarioSpec {
         spec.name = name.ok_or("missing required key `name`")?;
         spec.protocol = protocol.ok_or("missing required key `protocol`")?;
         spec.n = n.ok_or("missing required key `n`")?;
-        if spec.n == 0 {
+        // Faults are validated against every size of the sweep — each
+        // expanded row must be runnable on its own.
+        let min_n = spec.sweep_n.iter().copied().chain([spec.n]).min().unwrap();
+        if min_n == 0 {
             return Err("n must be positive".to_owned());
         }
         if spec.trials == 0 {
@@ -244,24 +272,43 @@ impl ScenarioSpec {
             return Err("delta must be positive".to_owned());
         }
         for c in &spec.faults.crashes {
-            if c.proc >= spec.n {
+            if c.proc >= min_n {
                 return Err(format!(
-                    "crash processor {} out of range (n = {})",
-                    c.proc, spec.n
+                    "crash processor {} out of range (n = {min_n})",
+                    c.proc
                 ));
             }
         }
         for p in &spec.faults.partitions {
             // A boundary outside (0, n) puts everyone on one side: the
             // "partition" would silently never fire.
-            if p.boundary == 0 || p.boundary >= spec.n {
+            if p.boundary == 0 || p.boundary >= min_n {
                 return Err(format!(
-                    "partition boundary {} leaves a side empty (n = {})",
-                    p.boundary, spec.n
+                    "partition boundary {} leaves a side empty (n = {min_n})",
+                    p.boundary
                 ));
             }
         }
         Ok(spec)
+    }
+
+    /// Expands the `n` sweep into one single-size spec per row. A spec
+    /// without extra sizes expands to itself; swept rows get a `-n<size>`
+    /// name suffix so reports stay distinguishable.
+    pub fn expand_n(&self) -> Vec<ScenarioSpec> {
+        if self.sweep_n.is_empty() {
+            return vec![self.clone()];
+        }
+        std::iter::once(self.n)
+            .chain(self.sweep_n.iter().copied())
+            .map(|size| {
+                let mut row = self.clone();
+                row.n = size;
+                row.sweep_n = Vec::new();
+                row.name = format!("{}-n{size}", self.name);
+                row
+            })
+            .collect()
     }
 
     /// The network configuration for one trial (trial seeds are
@@ -273,6 +320,7 @@ impl ScenarioSpec {
             faults: self.faults.clone(),
             seed: self.seed.wrapping_add(trial),
             schedule: None,
+            ordering: self.ordering,
         };
         if !self.phases.is_empty() {
             let mut schedule = Schedule::new();
@@ -297,7 +345,15 @@ impl ScenarioSpec {
         let mut out = String::new();
         let _ = writeln!(out, "name = {}", self.name);
         let _ = writeln!(out, "protocol = {}", self.protocol);
-        let _ = writeln!(out, "n = {}", self.n);
+        if self.sweep_n.is_empty() {
+            let _ = writeln!(out, "n = {}", self.n);
+        } else {
+            let sizes: Vec<String> = std::iter::once(self.n)
+                .chain(self.sweep_n.iter().copied())
+                .map(|s| s.to_string())
+                .collect();
+            let _ = writeln!(out, "n = {}", sizes.join(","));
+        }
         let _ = writeln!(out, "trials = {}", self.trials);
         let _ = writeln!(out, "seed = {}", self.seed);
         let input = match self.input {
@@ -360,6 +416,7 @@ impl ScenarioSpec {
         }
         let _ = writeln!(out, "coin_success = {}", self.coin_success);
         let _ = writeln!(out, "coin_blind = {}", self.coin_blind);
+        let _ = writeln!(out, "net.ordering = {}", self.ordering.name());
         out
     }
 }
@@ -387,6 +444,7 @@ const KNOWN_KEYS: &[&str] = &[
     "phases",
     "coin_success",
     "coin_blind",
+    "net.ordering",
 ];
 
 /// The closest known key within an edit distance of 3, if any.
@@ -622,6 +680,68 @@ coin_blind   = 0.05
         // Nothing close: no suggestion at all.
         let err = ScenarioSpec::parse("name=x\nzzzzzzzzzzzz = 1\n").unwrap_err();
         assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn n_sweep_parses_and_expands() {
+        let s = ScenarioSpec::parse("name=sweep\nprotocol=flood\nn=64, 128,256\n").expect("parse");
+        assert_eq!(s.n, 64);
+        assert_eq!(s.sweep_n, vec![128, 256]);
+        let rows = s.expand_n();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows.iter().map(|r| r.n).collect::<Vec<_>>(),
+            vec![64, 128, 256]
+        );
+        assert_eq!(rows[1].name, "sweep-n128");
+        assert!(rows.iter().all(|r| r.sweep_n.is_empty()));
+        // Everything but name/n is carried over verbatim.
+        assert_eq!(rows[2].protocol, "flood");
+        assert_eq!(rows[2].trials, s.trials);
+    }
+
+    #[test]
+    fn single_n_expands_to_itself() {
+        let s = ScenarioSpec::parse("name=x\nprotocol=flood\nn=16\n").expect("parse");
+        assert_eq!(s.expand_n(), vec![s.clone()]);
+    }
+
+    #[test]
+    fn sweep_faults_validate_against_the_smallest_size() {
+        // crash proc 40 is fine for n=64 but out of range for the swept 32.
+        let err = ScenarioSpec::parse("name=x\nprotocol=p\nn=64,32\ncrash = 40 0\n").unwrap_err();
+        assert!(err.contains("out of range (n = 32)"), "{err}");
+        let err =
+            ScenarioSpec::parse("name=x\nprotocol=p\nn=64,32\npartition = 40 0 5\n").unwrap_err();
+        assert!(err.contains("side empty"), "{err}");
+        let err = ScenarioSpec::parse("name=x\nprotocol=p\nn=64,0\n").unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn sweep_renders_as_a_comma_list() {
+        let s = ScenarioSpec::parse("name=sweep\nprotocol=flood\nn=64,128,256\n").expect("parse");
+        assert!(s.render().contains("n = 64,128,256"), "{}", s.render());
+        let back = ScenarioSpec::parse(&s.render()).expect("reparse");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn ordering_parses_renders_and_reaches_the_net_config() {
+        let s = ScenarioSpec::parse("name=x\nprotocol=flood\nn=16\nnet.ordering = lifo\n")
+            .expect("parse");
+        assert_eq!(s.ordering, DeliveryPolicy::AdversarialLifo);
+        assert_eq!(s.net_config(0).ordering, DeliveryPolicy::AdversarialLifo);
+        assert!(s.render().contains("net.ordering = lifo"));
+        let back = ScenarioSpec::parse(&s.render()).expect("reparse");
+        assert_eq!(s, back);
+        // Default is fifo, and junk values are line-numbered errors.
+        let d = ScenarioSpec::parse("name=x\nprotocol=flood\nn=16\n").expect("parse");
+        assert_eq!(d.ordering, DeliveryPolicy::Fifo);
+        let err =
+            ScenarioSpec::parse("name=x\nprotocol=p\nn=4\nnet.ordering = chaos\n").unwrap_err();
+        assert!(err.contains("unknown delivery ordering"), "{err}");
+        assert!(err.contains("line 4"), "{err}");
     }
 
     #[test]

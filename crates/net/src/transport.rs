@@ -12,7 +12,7 @@
 //! protocol's timetable assumes); the transport counts lateness and loss
 //! per [`Schedule`] phase of the sending round.
 
-use crate::event::EventQueue;
+use crate::event::{DeliveryPolicy, EventQueue};
 use crate::fault::{DropCause, FaultPlan};
 use crate::latency::LatencyModel;
 use ba_sim::{derive_rng, Envelope, ProcId, Schedule, SimRng, Transport};
@@ -21,6 +21,12 @@ use ba_sim::{derive_rng, Envelope, ProcId, Schedule, SimRng, Transport};
 /// processor coins, `1 << 40` the adversary, `1 << 41` sampler
 /// construction — see `ba_sim::derive_rng`).
 pub const NET_LABEL: u64 = 1 << 42;
+
+/// Label of the *ordering* stream: [`DeliveryPolicy::Shuffle`] draws its
+/// same-instant permutations here, never from [`NET_LABEL`], so changing
+/// the delivery policy can never perturb which messages are dropped or
+/// how long they fly.
+pub const ORDER_LABEL: u64 = 1 << 43;
 
 /// Configuration of one [`NetTransport`].
 #[derive(Clone, Debug, PartialEq)]
@@ -35,7 +41,12 @@ pub struct NetConfig {
     /// Master seed; the transport draws from `derive_rng(seed, NET_LABEL)`.
     pub seed: u64,
     /// Optional protocol timetable for per-phase stats breakdowns.
+    /// When absent, the transport derives one from
+    /// [`Transport::mark_phase`] announcements instead.
     pub schedule: Option<Schedule>,
+    /// Same-instant delivery ordering ([`DeliveryPolicy::Fifo`] is the
+    /// historical byte-identical behaviour).
+    pub ordering: DeliveryPolicy,
 }
 
 impl NetConfig {
@@ -48,6 +59,7 @@ impl NetConfig {
             faults: FaultPlan::default(),
             seed: 0,
             schedule: None,
+            ordering: DeliveryPolicy::Fifo,
         }
     }
 
@@ -72,6 +84,12 @@ impl NetConfig {
     /// Attaches a protocol timetable for per-phase breakdowns.
     pub fn with_schedule(mut self, schedule: Schedule) -> Self {
         self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the same-instant delivery ordering policy.
+    pub fn with_ordering(mut self, ordering: DeliveryPolicy) -> Self {
+        self.ordering = ordering;
         self
     }
 }
@@ -185,6 +203,13 @@ pub struct NetTransport<M> {
     /// Emission counter, used as the event-queue tie key so delivery
     /// order is a pure function of (arrival, emission order).
     emitted: u64,
+    /// The dedicated ordering stream ([`ORDER_LABEL`]); only the
+    /// `Shuffle` policy ever draws from it.
+    order_rng: SimRng,
+    /// Start rounds of the phases derived from
+    /// [`Transport::mark_phase`] announcements, parallel to
+    /// `stats.per_phase` (unused when the config carries a schedule).
+    marks: Vec<usize>,
     /// Scratch for batched drains (reused at high-water capacity).
     due: Vec<InFlight<M>>,
 }
@@ -201,6 +226,7 @@ impl<M> NetTransport<M> {
             .map(|p| cfg.faults.crash_round(p).unwrap_or(usize::MAX))
             .collect();
         let rng = derive_rng(cfg.seed, NET_LABEL);
+        let order_rng = derive_rng(cfg.seed, ORDER_LABEL);
         let mut stats = NetStats::default();
         if let Some(schedule) = &cfg.schedule {
             stats.per_phase = schedule
@@ -222,6 +248,8 @@ impl<M> NetTransport<M> {
             rng,
             stats,
             emitted: 0,
+            order_rng,
+            marks: Vec::new(),
             due: Vec::new(),
         }
     }
@@ -239,18 +267,24 @@ impl<M> NetTransport<M> {
     }
 
     /// The phase-stats bucket for a sending round (`None` without a
-    /// schedule).
+    /// schedule — configured or derived from phase marks).
     fn phase_bucket(&mut self, sent_round: usize) -> Option<&mut PhaseNetStats> {
         if self.stats.per_phase.is_empty() {
             return None;
         }
-        let last = self.stats.per_phase.len() - 1;
-        let idx = self
-            .cfg
-            .schedule
-            .as_ref()
-            .and_then(|s| s.locate(sent_round))
-            .map_or(last, |(phase, _)| phase);
+        let idx = if self.cfg.schedule.is_some() {
+            let last = self.stats.per_phase.len() - 1;
+            self.cfg
+                .schedule
+                .as_ref()
+                .and_then(|s| s.locate(sent_round))
+                .map_or(last, |(phase, _)| phase)
+        } else {
+            // Derived timetable: the last announced phase whose start is
+            // at or before the sending round (phases are open-ended).
+            let k = self.marks.partition_point(|&start| start <= sent_round);
+            k.checked_sub(1)?
+        };
         self.stats.per_phase.get_mut(idx)
     }
 }
@@ -307,8 +341,12 @@ impl<M> Transport<M> for NetTransport<M> {
         let now = (round as u64).saturating_mul(self.cfg.delta);
         let mut due = std::mem::take(&mut self.due);
         debug_assert!(due.is_empty());
-        self.queue
-            .drain_due(now, &mut |_, inflight| due.push(inflight));
+        self.queue.drain_due_policy(
+            now,
+            self.cfg.ordering,
+            &mut self.order_rng,
+            &mut |_, inflight| due.push(inflight),
+        );
         for inflight in due.drain(..) {
             self.stats.delivered += 1;
             // The wire did its job, but a recipient that is dead or
@@ -347,6 +385,31 @@ impl<M> Transport<M> for NetTransport<M> {
 
     fn is_faulty(&self, round: usize, p: ProcId) -> bool {
         self.crash_round.get(p.index()).is_some_and(|&c| round >= c)
+    }
+
+    /// Derives a per-phase stats timetable from the executor's own
+    /// announcements. A configured [`Schedule`] wins; otherwise each
+    /// *distinct* consecutive name opens a new bucket at `round`
+    /// (repeated announcements of the running phase coalesce, so e.g. a
+    /// per-round coin exchange stays one phase). Marks consume no
+    /// randomness: stats bucketing can never perturb delivery.
+    fn mark_phase(&mut self, round: usize, name: &str) {
+        if self.cfg.schedule.is_some() {
+            return;
+        }
+        if self
+            .marks
+            .len()
+            .checked_sub(1)
+            .is_some_and(|i| self.stats.per_phase[i].name == name)
+        {
+            return;
+        }
+        self.marks.push(round);
+        self.stats.per_phase.push(PhaseNetStats {
+            name: name.to_owned(),
+            ..PhaseNetStats::default()
+        });
     }
 }
 
@@ -460,6 +523,97 @@ mod tests {
         assert_eq!(stats.per_phase[2].sent, 1);
         assert_eq!(stats.sent, 3);
         assert_eq!(stats.in_flight_at_end, 0);
+    }
+
+    #[test]
+    fn mark_phase_derives_a_timetable() {
+        let cfg = NetConfig::synchronous().with_faults(FaultPlan {
+            partitions: vec![Partition {
+                boundary: 1,
+                from_round: 2,
+                heal_round: 4,
+            }],
+            ..FaultPlan::default()
+        });
+        let mut t = NetTransport::new(2, cfg);
+        t.mark_phase(0, "expose");
+        t.send(0, env(0, 1, 1));
+        let _ = drain(&mut t, 1);
+        t.mark_phase(1, "winners");
+        t.send(1, env(0, 1, 2));
+        let _ = drain(&mut t, 2);
+        t.mark_phase(2, "coin");
+        t.mark_phase(3, "coin"); // repeated announcement coalesces
+        t.send(2, env(0, 1, 3)); // severed: partition active in rounds 2..4
+        t.send(3, env(0, 1, 4)); // severed
+        let _ = drain(&mut t, 4);
+        let stats = t.into_stats();
+        let names: Vec<&str> = stats.per_phase.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["expose", "winners", "coin"]);
+        assert_eq!(stats.per_phase[0].sent, 1);
+        assert_eq!(stats.per_phase[1].sent, 1);
+        assert_eq!(stats.per_phase[2].sent, 2);
+        assert_eq!(stats.per_phase[2].dropped_partition, 2);
+        assert_eq!(stats.per_phase[0].dropped_partition, 0);
+    }
+
+    #[test]
+    fn configured_schedule_wins_over_marks() {
+        let mut schedule = Schedule::new();
+        schedule.push("configured", 4);
+        let cfg = NetConfig::synchronous().with_schedule(schedule);
+        let mut t = NetTransport::new(2, cfg);
+        t.mark_phase(0, "derived");
+        t.send(0, env(0, 1, 1));
+        let stats = t.into_stats();
+        let names: Vec<&str> = stats.per_phase.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["configured", "(past-schedule)"]);
+        assert_eq!(stats.per_phase[0].sent, 1);
+    }
+
+    #[test]
+    fn ordering_policies_only_permute_same_instant_batches() {
+        let run = |ordering: DeliveryPolicy| {
+            let mut t = NetTransport::new(4, NetConfig::synchronous().with_ordering(ordering));
+            for i in 0..4 {
+                t.send(0, env(i, 0, i as u16));
+            }
+            drain(&mut t, 1)
+        };
+        assert_eq!(run(DeliveryPolicy::Fifo), vec![0, 1, 2, 3]);
+        assert_eq!(run(DeliveryPolicy::AdversarialLifo), vec![3, 2, 1, 0]);
+        let shuffled = run(DeliveryPolicy::Shuffle);
+        let mut sorted = shuffled.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "shuffle is a permutation");
+        assert_eq!(shuffled, run(DeliveryPolicy::Shuffle), "seeded");
+    }
+
+    #[test]
+    fn ordering_stream_is_independent_of_drops_and_latency() {
+        // Switching the policy must not change which messages drop:
+        // the ordering stream is dedicated, not shared with NET_LABEL.
+        let lossy = |ordering: DeliveryPolicy| {
+            let cfg = NetConfig::synchronous()
+                .with_ordering(ordering)
+                .with_faults(FaultPlan {
+                    drop_prob: 0.4,
+                    ..FaultPlan::default()
+                });
+            let mut t = NetTransport::new(8, cfg);
+            for r in 0..4usize {
+                for i in 0..8 {
+                    t.send(r, env(i, (i + 1) % 8, (r * 8 + i) as u16));
+                }
+                let _ = drain(&mut t, r + 1);
+            }
+            let stats = t.into_stats();
+            (stats.dropped_random, stats.delivered)
+        };
+        let fifo = lossy(DeliveryPolicy::Fifo);
+        assert_eq!(fifo, lossy(DeliveryPolicy::AdversarialLifo));
+        assert_eq!(fifo, lossy(DeliveryPolicy::Shuffle));
+        assert!(fifo.0 > 0, "drops must fire for the test to mean anything");
     }
 
     #[test]

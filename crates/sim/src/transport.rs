@@ -50,6 +50,17 @@ pub trait Transport<M> {
         let _ = (round, p);
         false
     }
+
+    /// Announces that the phase named `name` begins at `round` on this
+    /// transport's timeline. Structured executors (the election
+    /// tournament, the full stack) call this at every routed exchange so
+    /// a stats-keeping transport can derive a [`Schedule`](crate::Schedule)
+    /// it was never configured with. Marks carry no randomness and no
+    /// payload; the default is a no-op, so plain transports and the
+    /// lockstep engine are unaffected.
+    fn mark_phase(&mut self, round: usize, name: &str) {
+        let _ = (round, name);
+    }
 }
 
 /// The paper's synchronous network: everything sent in round `r` arrives

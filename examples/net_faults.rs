@@ -11,7 +11,7 @@
 use king_saia::core::ae_to_e::{AeToEConfig, AeToEOutcome, AeToEProcess};
 use king_saia::core::everywhere::{self, EverywhereConfig};
 use king_saia::core::tournament::NoTreeAdversary;
-use king_saia::net::{FaultPlan, LatencyModel, NetConfig, NetTransport, Partition};
+use king_saia::net::{DeliveryPolicy, FaultPlan, LatencyModel, NetConfig, NetTransport, Partition};
 use king_saia::sim::{NullAdversary, Schedule, SimBuilder};
 
 const MESSAGE: u64 = 42;
@@ -33,6 +33,7 @@ fn faulty_net(n: usize, seed: u64, schedule: Schedule) -> NetConfig {
         },
         seed,
         schedule: Some(schedule),
+        ordering: DeliveryPolicy::Fifo,
     }
 }
 

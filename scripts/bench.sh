@@ -43,6 +43,19 @@ EXP_ROWS="${EXP_ROWS%,\\n}"
 echo "== scenario suite (ba-net fault models) =="
 cargo run --release --offline -p ba-bench --bin scenario -- scenarios --json "$SCNJSON"
 
+# Adversary-search throughput: trials/sec over the default seed-pinned
+# hunt (grid + sampled fault space, including each finding's shrink).
+echo "== hunt throughput =="
+HUNT_BUDGET=220
+start=$(date +%s.%N)
+cargo run --release --offline -p ba-bench --bin hunt -- \
+    --seed 7 --budget "$HUNT_BUDGET" >/dev/null
+end=$(date +%s.%N)
+HUNT_WALL=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.2f", b - a }')
+HUNT_TPS=$(awk -v t="$HUNT_BUDGET" -v w="$HUNT_WALL" \
+    'BEGIN { if (w > 0) printf "%.1f", t / w; else print "0" }')
+echo "   ${HUNT_WALL}s wall, ${HUNT_TPS} trials/sec"
+
 # ns/iter for one benchmark name out of the collected ndjson
 # (lines look like {"bench":"gf16/mul","ns_per_iter":1.97}).
 ns() {
@@ -80,6 +93,11 @@ SH_256_REF=$(ns "$NDJSON" "shamir/reconstruct_ref_n256")
     echo "  \"experiments\": ["
     printf "%b\n" "$EXP_ROWS"
     echo "  ],"
+    echo "  \"hunt\": {"
+    echo "    \"budget_trials\": ${HUNT_BUDGET},"
+    echo "    \"wall_seconds\": ${HUNT_WALL},"
+    echo "    \"trials_per_second\": ${HUNT_TPS}"
+    echo "  },"
     echo "  \"scenarios\":"
     sed 's/^/  /' "$SCNJSON"
     echo "}"

@@ -30,6 +30,16 @@ echo "== scenario smoke (composed tree adversary + partition) =="
 cargo run --release --offline -p ba-bench --bin scenario -- \
     scenarios/10-composed-tree-partition.scn
 
+echo "== hunt smoke (seed-pinned, budget-bounded) =="
+# The adversary search must keep rediscovering the coordinator-
+# equivocation break against the leader-based baselines within a small
+# budget (< 60 s); --expect fails the gate the day it stops finding it.
+cargo run --release --offline -p ba-bench --bin hunt -- \
+    --seed 7 --budget 150 --expect equivocate
+
+echo "== pinned regression scenarios =="
+cargo run --release --offline -p ba-bench --bin scenario -- scenarios/regressions
+
 if [[ "${1:-}" == "--with-scenarios" ]]; then
     echo "== full scenario suite =="
     cargo run --release --offline -p ba-bench --bin scenario -- scenarios

@@ -190,7 +190,7 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 use king_saia::net::{
-    Churn, Crash, FaultPlan, InputPattern, LatencyModel, Partition, ScenarioSpec,
+    Churn, Crash, DeliveryPolicy, FaultPlan, InputPattern, LatencyModel, Partition, ScenarioSpec,
 };
 
 proptest! {
@@ -211,12 +211,14 @@ proptest! {
         knobs in (0usize..50, 0u32..1_001, 0usize..8),
         phase_lens in proptest::collection::vec(1usize..30, 0..4),
         coin_m in (0u32..1_001, 0u32..1_001),
+        extra in (0usize..3, 0usize..3),
     ) {
         let (n, trials, seed) = scale;
         let (delta, input_idx, rounds) = shape;
         let (adv_idx, tree_idx, attack_idx) = advs;
         let (corrupt, aggr_m, proto_idx) = knobs;
         let (lat_kind, a, b) = lat;
+        let (ordering_idx, sweep_len) = extra;
         let latency = match lat_kind {
             0 => LatencyModel::Constant(a),
             1 => LatencyModel::Uniform { lo: a.min(b), hi: a.max(b) },
@@ -241,6 +243,9 @@ proptest! {
             ][proto_idx]
             .to_owned(),
             n,
+            // Sweep sizes render as a comma list after `n`; keeping them
+            // above `n` keeps the fault plan valid at the minimum size.
+            sweep_n: (0..sweep_len).map(|i| n + 1 + 7 * i).collect(),
             trials,
             seed,
             input: [
@@ -287,6 +292,11 @@ proptest! {
                 .collect(),
             coin_success: f64::from(coin_m.0) / 1_000.0,
             coin_blind: f64::from(coin_m.1) / 1_000.0,
+            ordering: [
+                DeliveryPolicy::Fifo,
+                DeliveryPolicy::AdversarialLifo,
+                DeliveryPolicy::Shuffle,
+            ][ordering_idx],
         };
         let rendered = spec.render();
         let parsed = ScenarioSpec::parse(&rendered)
@@ -320,5 +330,85 @@ proptest! {
             "error lacked a suggestion: {}",
             err
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delivery-policy and hunt-shrinker contracts
+// ---------------------------------------------------------------------------
+
+use king_saia::exp::shrink_spec;
+
+proptest! {
+    /// `DeliveryPolicy::Fifo` is byte-identical to the plain
+    /// `drain_due`: for any event mix and drain instant, the policy path
+    /// yields the same `(time, value)` sequence and consumes **no**
+    /// randomness (the ordering stream stays untouched), so switching
+    /// the default through the policy enum perturbs nothing.
+    #[test]
+    fn fifo_policy_is_byte_identical_to_plain_drain(
+        raw in proptest::collection::vec(any::<u64>(), 1..40),
+        now in 0u64..60,
+    ) {
+        let mut plain = EventQueue::new();
+        let mut policed = EventQueue::new();
+        for (i, &x) in raw.iter().enumerate() {
+            plain.push(x % 50, x % 7, (i, x));
+            policed.push(x % 50, x % 7, (i, x));
+        }
+        let mut a = Vec::new();
+        plain.drain_due(now, &mut |t, v| a.push((t, v)));
+        let mut rng = derive_rng(9, 9);
+        let mut rng_twin = derive_rng(9, 9);
+        let mut b = Vec::new();
+        policed.drain_due_policy(now, DeliveryPolicy::Fifo, &mut rng, &mut |t, v| {
+            b.push((t, v));
+        });
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(plain.len(), policed.len(), "leftover events diverge");
+        // Fifo drew nothing from the ordering stream.
+        prop_assert_eq!(rng.gen::<u64>(), rng_twin.gen::<u64>());
+    }
+
+    /// The hunt's greedy shrinker is sound and minimal: against any
+    /// monotone two-axis threshold oracle it (1) returns a spec that
+    /// still violates, (2) strips every irrelevant knob back to the
+    /// identity plan, and (3) lands *exactly* on the failure boundary of
+    /// both numeric axes.
+    #[test]
+    fn hunt_shrinking_is_sound_and_minimal(
+        c_thresh in 1usize..20,
+        c_extra in 0usize..10,
+        n_thresh in 8usize..60,
+        n_extra in 0usize..30,
+        mess in (0usize..3, 0u32..301, 0usize..3),
+    ) {
+        let (ordering_idx, drop_m, churn_k) = mess;
+        // `n` only ever shrinks, so the boundary it can land on must sit
+        // below the start and above `corrupt` (specs keep one good proc).
+        let n_thresh = n_thresh.max(c_thresh + 1);
+        let mut spec = ScenarioSpec::parse("name = messy\nprotocol = phase_king\nn = 8\n")
+            .expect("parse");
+        spec.n = n_thresh + n_extra;
+        spec.corrupt = c_thresh + c_extra;
+        spec.adversary = "equivocate".to_owned();
+        spec.ordering = [
+            DeliveryPolicy::Fifo,
+            DeliveryPolicy::AdversarialLifo,
+            DeliveryPolicy::Shuffle,
+        ][ordering_idx];
+        spec.faults.drop_prob = f64::from(drop_m) / 1_000.0;
+        spec.faults.churn = (churn_k > 0).then_some(Churn {
+            period: 4 * churn_k,
+            down: churn_k,
+            stagger: 0,
+        });
+        let shrunk = shrink_spec(&spec, &mut |s| s.corrupt >= c_thresh && s.n >= n_thresh);
+        prop_assert!(shrunk.corrupt >= c_thresh && shrunk.n >= n_thresh, "shrink lost the bug");
+        prop_assert_eq!(shrunk.corrupt, c_thresh);
+        prop_assert_eq!(shrunk.n, n_thresh);
+        prop_assert_eq!(shrunk.ordering, DeliveryPolicy::Fifo);
+        prop_assert_eq!(shrunk.faults.drop_prob, 0.0);
+        prop_assert!(shrunk.faults.churn.is_none());
     }
 }

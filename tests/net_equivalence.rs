@@ -14,7 +14,7 @@ use king_saia::core::aeba::{AebaConfig, AebaProcess, UnreliableCoin};
 use king_saia::core::attacks::{ResponseForger, SplitVoter};
 use king_saia::core::everywhere::{self, EverywhereConfig};
 use king_saia::core::tournament::NoTreeAdversary;
-use king_saia::net::{NetConfig, NetTransport};
+use king_saia::net::{DeliveryPolicy, NetConfig, NetTransport};
 use king_saia::sampler::RegularGraph;
 use king_saia::sim::{
     Adversary, NullAdversary, ProcId, Process, RunOutcome, SimBuilder, StaticAdversary,
@@ -46,6 +46,25 @@ where
             NetTransport::new(n, NetConfig::synchronous().with_seed(seed)),
         )
         .run(max_rounds);
+    // Spelling out the default delivery policy must change nothing: the
+    // `DeliveryPolicy::Fifo` path is byte-identical to the plain drain.
+    let fifo: RunOutcome<P::Output> = SimBuilder::new(n)
+        .seed(seed)
+        .build_with_transport(
+            make(),
+            adv(),
+            NetTransport::new(
+                n,
+                NetConfig::synchronous()
+                    .with_seed(seed)
+                    .with_ordering(DeliveryPolicy::Fifo),
+            ),
+        )
+        .run(max_rounds);
+    assert_eq!(net.rounds, fifo.rounds, "explicit fifo diverges");
+    assert_eq!(net.corrupt, fifo.corrupt, "explicit fifo diverges");
+    assert!(net.outputs == fifo.outputs, "explicit fifo diverges");
+    assert_eq!(net.metrics.total_bits(), fifo.metrics.total_bits());
     assert_eq!(lockstep.rounds, net.rounds, "round counts diverge");
     assert_eq!(lockstep.corrupt, net.corrupt, "corruption traces diverge");
     assert_eq!(lockstep.faulty, net.faulty, "fault traces diverge");

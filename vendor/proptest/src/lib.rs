@@ -239,6 +239,80 @@ pub mod collection {
     }
 }
 
+/// Pure candidate generation for greedy delta-debugging shrinkers.
+///
+/// The full proptest shrinks values inside its strategies; this subset
+/// keeps generation and shrinking separate. These helpers only *propose*
+/// simpler values, ordered most-aggressive first — the caller owns the
+/// "does the shrunk input still fail?" check and the fixpoint loop, which
+/// is what makes them reusable for shrinking things that were never
+/// drawn from a strategy (e.g. a found counterexample spec).
+pub mod shrink {
+    /// Candidates simpler than `value`, toward `target` (`target <= value`):
+    /// the target itself, the midpoint, then `value - 1`. Under a
+    /// retry-until-fixpoint loop the midpoint chain converges in
+    /// `O(log(value - target))` steps and the final decrement lands the
+    /// fixpoint exactly on the failure boundary. Empty when `value` is
+    /// already at the target.
+    pub fn halve_usize(value: usize, target: usize) -> Vec<usize> {
+        debug_assert!(target <= value, "shrinking moves down");
+        let mut out = Vec::new();
+        if value > target {
+            out.push(target);
+            let mid = target + (value - target) / 2;
+            if mid != target && mid != value {
+                out.push(mid);
+            }
+            if value - 1 != target && !out.contains(&(value - 1)) {
+                out.push(value - 1);
+            }
+        }
+        out
+    }
+
+    /// [`halve_usize`] for `u64` values.
+    pub fn halve_u64(value: u64, target: u64) -> Vec<u64> {
+        debug_assert!(target <= value, "shrinking moves down");
+        let mut out = Vec::new();
+        if value > target {
+            out.push(target);
+            let mid = target + (value - target) / 2;
+            if mid != target && mid != value {
+                out.push(mid);
+            }
+            if value - 1 != target && !out.contains(&(value - 1)) {
+                out.push(value - 1);
+            }
+        }
+        out
+    }
+
+    /// Probability candidates toward 0: zero first, then half. Empty at 0.
+    pub fn halve_prob(value: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if value > 0.0 {
+            out.push(0.0);
+            let mid = value / 2.0;
+            if mid > 1e-6 {
+                out.push(mid);
+            }
+        }
+        out
+    }
+
+    /// One candidate per element, each with that element removed (the
+    /// list-minimization step of delta debugging). Empty for empty input.
+    pub fn remove_each<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+        (0..items.len())
+            .map(|i| {
+                let mut v = items.to_vec();
+                v.remove(i);
+                v
+            })
+            .collect()
+    }
+}
+
 /// Everything the tests import.
 pub mod prelude {
     pub use crate::{
@@ -385,6 +459,24 @@ mod tests {
         fn config_accepted(x in any::<u64>()) {
             prop_assert_ne!(x, x.wrapping_add(1));
         }
+    }
+
+    #[test]
+    fn shrink_helpers_propose_simpler_values() {
+        use crate::shrink::*;
+        assert_eq!(halve_usize(8, 0), vec![0, 4, 7]);
+        assert_eq!(halve_usize(8, 7), vec![7]);
+        assert_eq!(halve_usize(5, 5), Vec::<usize>::new());
+        assert_eq!(halve_u64(100, 10), vec![10, 55, 99]);
+        assert_eq!(halve_prob(0.0), Vec::<f64>::new());
+        let c = halve_prob(0.4);
+        assert_eq!(c[0], 0.0);
+        assert!((c[1] - 0.2).abs() < 1e-12);
+        assert_eq!(
+            remove_each(&[1, 2, 3]),
+            vec![vec![2, 3], vec![1, 3], vec![1, 2]]
+        );
+        assert!(remove_each::<u8>(&[]).is_empty());
     }
 
     #[test]
