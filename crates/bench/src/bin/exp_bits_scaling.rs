@@ -28,13 +28,23 @@ fn main() {
     let mut ks_ae2e_series = Vec::new();
     let mut pk_series = Vec::new();
 
-    for &n in &sizes {
-        let ks = e.run(&RunSpec::everywhere(n).trials(trials));
+    // One spec per protocol, swept over n through the shared expansion
+    // the scenario grammar uses (`RunSpec::sweep_n`).
+    let ks_rows = RunSpec::everywhere(sizes[0]).trials(trials).sweep_n(&sizes);
+    let pk_rows = RunSpec::phase_king(sizes[0]).trials(trials).sweep_n(&sizes);
+    let bo_rows = RunSpec::ben_or(sizes[0]).trials(trials).sweep_n(&sizes);
+    let rb_rows = RunSpec::rabin(sizes[0]).trials(trials).sweep_n(&sizes);
+
+    for (((ks_spec, pk_spec), bo_spec), rb_spec) in
+        ks_rows.iter().zip(&pk_rows).zip(&bo_rows).zip(&rb_rows)
+    {
+        let n = ks_spec.n;
+        let ks = e.run(ks_spec);
         let ks_total = Metric::BitsMax.eval(&ks);
         let ks_ae2e = Metric::AeBitsMax.eval(&ks);
 
         let pk = if n <= 512 {
-            Metric::BitsMax.eval(&e.run(&RunSpec::phase_king(n).trials(trials)))
+            Metric::BitsMax.eval(&e.run(pk_spec))
         } else {
             // Deterministic protocol: 2 bits to n peers per round for
             // 2(t+1) rounds; measured at smaller n, extrapolated here to
@@ -42,8 +52,8 @@ fn main() {
             let cfg = PhaseKingConfig::for_n(n);
             (n as f64) * (cfg.total_rounds() as f64 + 1.0)
         };
-        let bo = Metric::BitsMax.eval(&e.run(&RunSpec::ben_or(n).trials(trials)));
-        let rb = Metric::BitsMax.eval(&e.run(&RunSpec::rabin(n).trials(trials)));
+        let bo = Metric::BitsMax.eval(&e.run(bo_spec));
+        let rb = Metric::BitsMax.eval(&e.run(rb_spec));
 
         e.case_cells(
             &[n.to_string()],

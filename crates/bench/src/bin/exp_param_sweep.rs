@@ -84,6 +84,14 @@ fn main() {
         );
     }
 
+    e.section(
+        "E13d: default tuning across n (one spec, swept via RunSpec::sweep_n)",
+        &["n", "max_bits", "rounds", "agreement", "valid"],
+    );
+    for row in spec(64, trials, TournamentTuning::default()).sweep_n(&[64, 128, 256]) {
+        e.case(&[row.n.to_string()], &row, METRICS);
+    }
+
     e.note("\npaper claim (Lemma 5): the d_m^ℓ* share fan-out term dominates; raising q");
     e.note("shortens the tree and cuts bits until committee sizes hit n. The gossip");
     e.note("degree buys agreement quality linearly in bits.");

@@ -5,7 +5,7 @@
 //! network statistics per scenario.
 //!
 //! ```text
-//! cargo run --release -p ba-bench --bin scenario -- [--json OUT] SPEC...
+//! cargo run --release -p ba-bench --bin scenario -- [--json OUT] [--trace OUT] SPEC...
 //! ```
 //!
 //! Each `SPEC` is a `.scn` file or a directory of them (sorted). Trials
@@ -14,10 +14,14 @@
 //! transport, so results are deterministic per spec regardless of
 //! thread count. With `--json` a machine-readable array of per-scenario
 //! rows is written for `scripts/bench.sh` to fold into `BENCH_<n>.json`.
+//! With `--trace` a deterministic JSONL event trace (byte-identical per
+//! seed at any `BA_PAR_THREADS`; see `docs/observability.md`) is written
+//! for `trace-report` to digest.
 
-use ba_exp::scenario::{run_scenario, SCENARIO_COLUMNS};
+use ba_exp::scenario::{run_scenario_traced, SCENARIO_COLUMNS};
 use ba_exp::Table;
 use ba_net::ScenarioSpec;
+use ba_obs::Trace;
 
 /// Expands a path argument into .scn files (directories are read sorted).
 fn expand(path: &str) -> Result<Vec<std::path::PathBuf>, String> {
@@ -42,6 +46,7 @@ fn expand(path: &str) -> Result<Vec<std::path::PathBuf>, String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut paths = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -51,10 +56,23 @@ fn main() {
                 eprintln!("--json needs a path");
                 std::process::exit(2);
             }
+        } else if a == "--trace" {
+            trace_out = it.next().cloned();
+            if trace_out.is_none() {
+                eprintln!("--trace needs a path");
+                std::process::exit(2);
+            }
         } else {
             paths.push(a.clone());
         }
     }
+    let trace = match &trace_out {
+        Some(p) => Trace::to_file(std::path::Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("error: opening trace file {p}: {e}");
+            std::process::exit(1);
+        }),
+        None => Trace::off(),
+    };
     if paths.is_empty() {
         paths.push("scenarios".to_owned());
     }
@@ -83,7 +101,7 @@ fn main() {
         match parsed {
             Ok(specs) => {
                 for spec in &specs {
-                    match run_scenario(spec) {
+                    match run_scenario_traced(spec, &trace) {
                         Ok(report) => {
                             table.row(&report.table_cells());
                             rows.push(report.json_row());
@@ -102,6 +120,8 @@ fn main() {
         }
     }
 
+    // Append the quarantined profile section and flush the trace file.
+    trace.finish();
     if let Some(path) = json_out {
         let body = format!("[\n  {}\n]\n", rows.join(",\n  "));
         if let Err(e) = std::fs::write(&path, body) {

@@ -164,6 +164,10 @@ pub struct EverywhereOutcome {
     pub rounds: usize,
     /// Final corruption flags.
     pub corrupt: Vec<bool>,
+    /// Per-phase bit attribution: the tournament's phases followed by
+    /// one `ae` entry for the Algorithm 3 handoff. Sums exactly to
+    /// `bits_per_proc.iter().sum()`.
+    pub phase_bits: Vec<(String, u64)>,
 }
 
 impl EverywhereOutcome {
@@ -305,6 +309,10 @@ where
     let bits_per_proc: Vec<u64> = (0..n)
         .map(|i| t_out.bits_per_proc[i] + sim_outcome.metrics.bits_sent_by(ProcId::new(i)))
         .collect();
+    // Phase attribution: everything phase 2 charged is the "ae" phase,
+    // by the same total the bits_per_proc sum folds in.
+    let mut phase_bits = t_out.phase_bits.clone();
+    phase_bits.push(("ae".to_owned(), sim_outcome.metrics.total_bits()));
     (
         EverywhereOutcome {
             valid: t_out.valid,
@@ -315,6 +323,7 @@ where
             decisions,
             everywhere_agreement,
             bits_per_proc,
+            phase_bits,
         },
         transport,
     )
@@ -395,6 +404,20 @@ mod tests {
         assert!(out.rounds > out.tournament.rounds);
         let stats = out.good_bit_stats();
         assert!(stats.min > 0);
+    }
+
+    #[test]
+    fn phase_bits_cover_both_phases_exactly() {
+        let n = 64;
+        let config = EverywhereConfig::for_n(n).with_seed(9);
+        let out = run(&config, &vec![true; n], &mut NoTreeAdversary, NullAdversary);
+        let total: u64 = out.bits_per_proc.iter().sum();
+        let attributed: u64 = out.phase_bits.iter().map(|(_, b)| *b).sum();
+        assert_eq!(attributed, total, "phases: {:?}", out.phase_bits);
+        // Trailing entry is the Algorithm 3 handoff and it is non-trivial.
+        let (last, ae_bits) = out.phase_bits.last().expect("non-empty attribution");
+        assert_eq!(last, "ae");
+        assert!(*ae_bits > 0);
     }
 
     #[test]

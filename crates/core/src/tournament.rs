@@ -290,6 +290,12 @@ pub struct TournamentOutcome {
     /// timeline [`ba_net` fault schedules](Transport) act on, and the
     /// round offset a following engine phase starts at).
     pub transport_rounds: usize,
+    /// Per-phase bit attribution, in execution order: `deal`, then
+    /// `L<k>:expose` / `L<k>:agree` / `L<k>:winners` per level, then
+    /// `root:coin` and `coin:open`. Totals are exact by construction —
+    /// they sum to `bits_per_proc.iter().sum()` (every charge site lands
+    /// in exactly one window).
+    pub phase_bits: Vec<(String, u64)>,
 }
 
 impl TournamentOutcome {
@@ -463,6 +469,13 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
         }
     }
     rounds += 2; // deal + sendSecretUp
+
+    // Per-phase bit attribution: windows are delimited by snapshots of
+    // the total charge, so the phase totals sum to the run total exactly
+    // no matter which code path charged inside a window.
+    let mut phase_bits: Vec<(String, u64)> = Vec::new();
+    let mut charged_mark: u64 = bits.iter().sum();
+    phase_bits.push(("deal".to_owned(), charged_mark));
 
     // Custody: after step 1, array i is held by the level-2 committee of
     // leaf i's parent. Secrecy check for the passage through level 1:
@@ -721,6 +734,19 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
         } else {
             1.0
         };
+        // This level's charges are exactly the merged per-node expose /
+        // agree / winner totals (the snapshot delta proves it), so the
+        // attribution splits the window without double counting.
+        let charged_now: u64 = bits.iter().sum();
+        debug_assert_eq!(
+            charged_now - charged_mark,
+            stats.expose_bits + stats.agree_bits + stats.winner_bits,
+            "level {level} charges must equal the LevelStats split"
+        );
+        phase_bits.push((format!("L{level}:expose"), stats.expose_bits));
+        phase_bits.push((format!("L{level}:agree"), stats.agree_bits));
+        phase_bits.push((format!("L{level}:winners"), stats.winner_bits));
+        charged_mark = charged_now;
         level_stats.push(stats);
         holdings = next_holdings;
         level += 1;
@@ -840,6 +866,9 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
     // Coin words opened per root round travel the whole tree.
     charge_expose(&tree, root, root_rounds as u64, &cost, &mut bits);
     rounds += root_rounds * (p.levels + 1);
+    let charged_now: u64 = bits.iter().sum();
+    phase_bits.push(("root:coin".to_owned(), charged_now - charged_mark));
+    charged_mark = charged_now;
 
     // ---- Coin subsequence (§3.5) ------------------------------------------
     let mut coin_words = Vec::new();
@@ -857,6 +886,13 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
         charge_expose(&tree, root, coin_words.len() as u64, &cost, &mut bits);
         rounds += p.levels + 1;
     }
+    let charged_now: u64 = bits.iter().sum();
+    phase_bits.push(("coin:open".to_owned(), charged_now - charged_mark));
+    debug_assert_eq!(
+        phase_bits.iter().map(|(_, b)| b).sum::<u64>(),
+        charged_now,
+        "phase attribution must cover every charged bit"
+    );
 
     // ---- Outcome ----------------------------------------------------------
     let decisions: Vec<Option<bool>> = (0..n)
@@ -882,6 +918,7 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
         corrupt,
         level_stats,
         transport_rounds: net_round,
+        phase_bits,
     }
 }
 
@@ -1260,6 +1297,21 @@ mod tests {
             "agreement {}",
             out.agreement_fraction
         );
+    }
+
+    #[test]
+    fn phase_bits_sum_to_total_bits() {
+        for n in [32, 64, 128] {
+            let out = run_clean(n, 11, &vec![true; n]);
+            let total: u64 = out.bits_per_proc.iter().sum();
+            let attributed: u64 = out.phase_bits.iter().map(|(_, b)| *b).sum();
+            assert_eq!(attributed, total, "n={n} phases: {:?}", out.phase_bits);
+            // Every level contributes its three phases plus deal/root/coin.
+            assert!(out.phase_bits.iter().any(|(p, _)| p == "deal"));
+            assert!(out.phase_bits.iter().any(|(p, _)| p == "root:coin"));
+            assert!(out.phase_bits.iter().any(|(p, _)| p == "coin:open"));
+            assert!(out.phase_bits.iter().any(|(p, _)| p.ends_with(":expose")));
+        }
     }
 
     #[test]

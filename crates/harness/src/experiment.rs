@@ -7,9 +7,12 @@
 //! reads top-to-bottom exactly like its output. `finish()` writes the
 //! collected JSON rows when `--json PATH` was passed.
 
-use crate::runner::{run, RunReport, TrialOutcome};
+use crate::runner::{run_traced, RunReport, TrialOutcome};
 use crate::spec::RunSpec;
 use crate::stats::{mean, par_trials, Table};
+use ba_net::NetStats;
+use ba_obs::Trace;
+use std::path::Path;
 
 /// A named aggregate metric over a [`RunReport`], for table columns and
 /// JSON fields.
@@ -116,6 +119,7 @@ pub struct Experiment {
     name: String,
     json_out: Option<String>,
     trials_override: Option<u64>,
+    trace: Trace,
     section: String,
     columns: Vec<String>,
     table: Option<Table>,
@@ -136,6 +140,47 @@ fn json_num(v: f64) -> String {
     }
 }
 
+/// The network block every `case` row carries in `--json` output:
+/// aggregate counters (dead letters included) plus per-phase
+/// lateness/loss drill-down.
+fn net_json(net: &NetStats) -> String {
+    let mut phases = String::new();
+    for (i, p) in net.per_phase.iter().enumerate() {
+        if i > 0 {
+            phases.push_str(", ");
+        }
+        phases.push_str(&format!(
+            "{{\"name\": \"{}\", \"sent\": {}, \"sent_bits\": {}, \"delivered\": {}, \
+             \"late\": {}, \"late_rounds\": {}, \"dropped_random\": {}, \
+             \"dropped_partition\": {}, \"dead_letters\": {}}}",
+            json_escape(&p.name),
+            p.sent,
+            p.sent_bits,
+            p.delivered,
+            p.late,
+            p.late_rounds,
+            p.dropped_random,
+            p.dropped_partition,
+            p.dead_letters,
+        ));
+    }
+    format!(
+        "\"net\": {{\"sent\": {}, \"delivered\": {}, \"late\": {}, \"late_rounds\": {}, \
+         \"dropped_random\": {}, \"dropped_partition\": {}, \"dead_letters\": {}, \
+         \"loss_rate\": {}, \"late_rate\": {}}}, \"phases\": [{}]",
+        net.sent,
+        net.delivered,
+        net.late,
+        net.late_rounds,
+        net.dropped_random,
+        net.dropped_partition,
+        net.dead_letters,
+        json_num(net.loss_rate()),
+        json_num(net.late_rate()),
+        phases,
+    )
+}
+
 impl Experiment {
     /// Creates the harness, parses the shared CLI (`--json PATH` to emit
     /// machine-readable rows, `--trials N` to override every spec's
@@ -144,6 +189,7 @@ impl Experiment {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut json_out = None;
         let mut trials_override = None;
+        let mut trace_path: Option<String> = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -161,17 +207,35 @@ impl Experiment {
                         std::process::exit(2);
                     }
                 },
+                "--trace" => match it.next() {
+                    Some(p) => trace_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--trace needs a path");
+                        std::process::exit(2);
+                    }
+                },
                 other => {
-                    eprintln!("unknown argument `{other}` (accepted: --json PATH, --trials N)");
+                    eprintln!(
+                        "unknown argument `{other}` \
+                         (accepted: --json PATH, --trials N, --trace PATH)"
+                    );
                     std::process::exit(2);
                 }
             }
         }
+        let trace = match &trace_path {
+            Some(p) => Trace::to_file(Path::new(p)).unwrap_or_else(|e| {
+                eprintln!("error: opening trace file {p}: {e}");
+                std::process::exit(1);
+            }),
+            None => Trace::off(),
+        };
         println!("{name}: {title}\n");
         Experiment {
             name: name.to_owned(),
             json_out,
             trials_override,
+            trace,
             section: String::new(),
             columns: Vec::new(),
             table: None,
@@ -191,14 +255,14 @@ impl Experiment {
         self.table = Some(Table::header(columns));
     }
 
-    /// Runs a spec (honoring `--trials`): the one trial loop behind
-    /// every case.
+    /// Runs a spec (honoring `--trials` and `--trace`): the one trial
+    /// loop behind every case.
     pub fn run(&self, spec: &RunSpec) -> RunReport {
         let mut spec = spec.clone();
         if let Some(t) = self.trials_override {
             spec.trials = t;
         }
-        match run(&spec) {
+        match run_traced(&spec, &self.trace) {
             Ok(report) => report,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -217,7 +281,7 @@ impl Experiment {
         for (m, v) in metrics.iter().zip(&values) {
             cells.push(m.format(*v));
         }
-        self.emit_row(&cells, labels.len(), &values);
+        self.emit_row_with(&cells, labels.len(), &values, Some(&report.net_sum()));
         report
     }
 
@@ -269,6 +333,16 @@ impl Experiment {
     }
 
     fn emit_row(&mut self, cells: &[String], label_count: usize, values: &[f64]) {
+        self.emit_row_with(cells, label_count, values, None);
+    }
+
+    fn emit_row_with(
+        &mut self,
+        cells: &[String],
+        label_count: usize,
+        values: &[f64],
+        net: Option<&NetStats>,
+    ) {
         assert_eq!(
             cells.len(),
             self.columns.len(),
@@ -296,6 +370,9 @@ impl Experiment {
         for (col, v) in self.columns.iter().skip(label_count).zip(values) {
             fields.push(format!("\"{}\": {}", json_escape(col), json_num(*v)));
         }
+        if let Some(net) = net {
+            fields.push(net_json(net));
+        }
         self.rows.push(format!("{{{}}}", fields.join(", ")));
     }
 
@@ -303,6 +380,9 @@ impl Experiment {
     /// this last.
     pub fn finish(mut self) {
         self.finished = true;
+        // Append the quarantined profile section and flush the trace
+        // file, if one is open.
+        self.trace.finish();
         let Some(path) = self.json_out.take() else {
             return;
         };
@@ -330,7 +410,7 @@ mod tests {
 
     #[test]
     fn metrics_evaluate_over_reports() {
-        let report = run(&RunSpec::flood(16).trials(2)).expect("run");
+        let report = crate::runner::run(&RunSpec::flood(16).trials(2)).expect("run");
         assert_eq!(Metric::Agreement.eval(&report), 1.0);
         assert_eq!(Metric::Decided.eval(&report), 1.0);
         assert!(Metric::Rounds.eval(&report) > 0.0);

@@ -53,8 +53,8 @@ mod spec;
 mod stats;
 
 pub use experiment::{Experiment, Metric};
-pub use hunt::{hunt, shrink_spec, Finding, HuntConfig, HuntReport, Violation};
-pub use runner::{run, run_trial, RunReport, TrialOutcome};
+pub use hunt::{hunt, hunt_traced, shrink_spec, Finding, HuntConfig, HuntReport, Violation};
+pub use runner::{run, run_traced, run_trial, run_trial_traced, RunReport, TrialOutcome};
 pub use spec::{
     AdversarySpec, AeToESpec, AebaSpec, GossipDegree, Knowledgeable, MessageAdversary, OutputSpec,
     Protocol, RunSpec, SeedPlan, TournamentTuning, TreeAttack,

@@ -16,6 +16,7 @@ use ba_core::coin::CoinSequence;
 use ba_core::everywhere::{self, EverywhereConfig, StackMsg};
 use ba_core::tournament::{self, LevelStats, TourMsg, TournamentConfig};
 use ba_net::{NetConfig, NetStats, NetTransport};
+use ba_obs::Trace;
 use ba_sim::{
     Adversary, BitStats, NullAdversary, ProcId, Process, RunOutcome, SimBuilder, StaticAdversary,
 };
@@ -62,6 +63,11 @@ pub struct TrialOutcome {
     pub ae_bits: Option<BitStats>,
     /// Network statistics of the trial's transport.
     pub net: Option<NetStats>,
+    /// Per-phase bit attribution. For the structured executors this is
+    /// exact (snapshot deltas around each exchange); for engine-hosted
+    /// protocols it buckets per-round charges by the transport's phase
+    /// marks. Entries sum to `total_bits`.
+    pub phase_bits: Vec<(String, u64)>,
 }
 
 impl TrialOutcome {
@@ -85,6 +91,7 @@ impl TrialOutcome {
             tournament_bits: None,
             ae_bits: None,
             net: None,
+            phase_bits: Vec::new(),
         }
     }
 }
@@ -136,6 +143,7 @@ impl RunReport {
             } else {
                 for (a, p) in acc.per_phase.iter_mut().zip(&net.per_phase) {
                     a.sent += p.sent;
+                    a.sent_bits += p.sent_bits;
                     a.delivered += p.delivered;
                     a.late += p.late;
                     a.late_rounds += p.late_rounds;
@@ -153,10 +161,29 @@ impl RunReport {
 /// `t` is a pure function of seed `seeds.base + t`, so results are
 /// deterministic at any thread count).
 pub fn run(spec: &RunSpec) -> Result<RunReport, String> {
-    let trials: Vec<Result<TrialOutcome, String>> = par_trials(spec.trials, |t| run_trial(spec, t));
+    run_traced(spec, &Trace::off())
+}
+
+/// [`run`], with trace events fanned into `trace`. Each trial records
+/// into its own in-memory buffer; buffers are replayed into the master
+/// sink in trial order, so the merged trace is byte-identical at any
+/// `BA_PAR_THREADS`. Wall-clock profiles merge by name (they live in
+/// the quarantined `"profile"` section, never in the event stream).
+pub fn run_traced(spec: &RunSpec, trace: &Trace) -> Result<RunReport, String> {
+    let armed = trace.is_on();
+    let trials: Vec<Result<(TrialOutcome, Vec<String>), String>> = par_trials(spec.trials, |t| {
+        let local = if armed { Trace::memory() } else { Trace::off() };
+        let outcome = run_trial_traced(spec, t, &local)?;
+        trace.merge_profile_from(&local);
+        Ok((outcome, local.take_lines()))
+    });
     let mut out = Vec::with_capacity(trials.len());
     for t in trials {
-        out.push(t?);
+        let (outcome, lines) = t?;
+        for line in lines {
+            trace.raw(line);
+        }
+        out.push(outcome);
     }
     Ok(RunReport { trials: out })
 }
@@ -195,6 +222,23 @@ fn good_bits<O>(outcome: &RunOutcome<O>) -> BitStats {
     BitStats::from_samples(&samples)
 }
 
+/// Emits the trial's top-3 talkers (by bits sent, ties to lower ids).
+fn trace_talkers(trace: &Trace, round: usize, per_proc: impl Iterator<Item = u64>) {
+    if !trace.is_on() {
+        return;
+    }
+    let mut ranked: Vec<(usize, u64)> = per_proc.enumerate().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (proc, bits) in ranked.into_iter().take(3) {
+        trace.event(
+            "talker",
+            round as u64,
+            "",
+            &[("proc", proc.into()), ("bits", bits.into())],
+        );
+    }
+}
+
 /// Runs one engine-hosted protocol trial over a `ba-net` transport.
 /// `wrong_pred` flags a decided output as *wrong* (e.g. not the message
 /// Algorithm 3 was spreading); pass `|_| false` where the notion does
@@ -209,6 +253,7 @@ fn engine_case<P, F, A>(
     make: F,
     adversary: A,
     wrong_pred: impl Fn(&P::Output) -> bool,
+    trace: &Trace,
 ) -> TrialOutcome
 where
     P: Process,
@@ -216,8 +261,8 @@ where
     F: FnMut(ProcId, usize) -> P,
     A: Adversary<P>,
 {
-    let transport = NetTransport::new(spec.n, cfg);
-    let mut builder = SimBuilder::new(spec.n).seed(seed);
+    let transport = NetTransport::new(spec.n, cfg).with_trace(trace.clone());
+    let mut builder = SimBuilder::new(spec.n).seed(seed).trace(trace.clone());
     if let Some(budget) = spec.adversary.engine_budget() {
         builder = builder.max_corruptions(budget);
     }
@@ -231,6 +276,13 @@ where
         .filter(|&i| !outcome.corrupt[i] && !outcome.faulty[i])
         .filter(|&i| outcome.outputs[i].as_ref().is_some_and(&wrong_pred))
         .count();
+    let phase_bits = outcome.metrics.phase_bits(&transport.phase_marks());
+    let net = transport.into_stats(); // flushes the transport's last send event
+    trace_talkers(
+        trace,
+        outcome.rounds,
+        (0..spec.n).map(|i| outcome.metrics.bits_sent_by(ProcId::new(i))),
+    );
     TrialOutcome {
         agreement,
         decided,
@@ -238,8 +290,9 @@ where
         rounds: outcome.rounds,
         bits: good_bits(&outcome),
         total_bits: outcome.metrics.total_bits(),
-        net: Some(transport.into_stats()),
+        net: Some(net),
         corrupt: outcome.corrupt,
+        phase_bits,
         ..TrialOutcome::base(seed)
     }
 }
@@ -253,6 +306,62 @@ fn unsupported(spec: &RunSpec, what: &str) -> String {
 
 /// Runs trial `trial` of `spec` at seed `seeds.base + trial`.
 pub fn run_trial(spec: &RunSpec, trial: u64) -> Result<TrialOutcome, String> {
+    run_trial_traced(spec, trial, &Trace::off())
+}
+
+/// [`run_trial`], recording trace events into `trace`: a `trial:start`
+/// header, the engine/transport event stream, per-phase `trial:phase`
+/// attribution lines, top-talker events, and a `trial:end` summary.
+pub fn run_trial_traced(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<TrialOutcome, String> {
+    if trace.is_on() {
+        trace.event(
+            "trial:start",
+            0,
+            "",
+            &[
+                ("trial", trial.into()),
+                ("seed", spec.seeds.seed(trial).into()),
+                ("protocol", spec.protocol.name().into()),
+                ("n", spec.n.into()),
+            ],
+        );
+    }
+    let out = {
+        // Whole-trial wall clock, charged to the quarantined profile.
+        let _t = trace.timer("harness:trial");
+        dispatch(spec, trial, trace)?
+    };
+    if trace.is_on() {
+        let round = out.rounds as u64;
+        for (phase, bits) in &out.phase_bits {
+            trace.event(
+                "trial:phase",
+                round,
+                phase,
+                &[("trial", trial.into()), ("bits", (*bits).into())],
+            );
+        }
+        let good = out.corrupt.iter().filter(|&&c| !c).count();
+        trace.event(
+            "trial:end",
+            round,
+            "",
+            &[
+                ("trial", trial.into()),
+                ("seed", out.seed.into()),
+                ("n", spec.n.into()),
+                ("good", good.into()),
+                ("agreement", out.agreement.into()),
+                ("decided", out.decided.into()),
+                ("total_bits", out.total_bits.into()),
+            ],
+        );
+    }
+    Ok(out)
+}
+
+/// Trial dispatch over the spec's protocol surface.
+fn dispatch(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<TrialOutcome, String> {
     let n = spec.n;
     if n == 0 {
         return Err("n must be positive".to_owned());
@@ -274,6 +383,7 @@ pub fn run_trial(spec: &RunSpec, trial: u64) -> Result<TrialOutcome, String> {
                 move |p, _| FloodProcess::new(pc, input.bit(p.index())),
                 adv,
                 |_| false,
+                trace,
             ))
         }
         Protocol::PhaseKing => {
@@ -290,12 +400,21 @@ pub fn run_trial(spec: &RunSpec, trial: u64) -> Result<TrialOutcome, String> {
                     make,
                     CoordEquivocator::new(count),
                     |_| false,
+                    trace,
                 ));
             }
             let adv = generic_static(spec)?;
-            Ok(engine_case(spec, seed, cfg, cap, None, make, adv, |_| {
-                false
-            }))
+            Ok(engine_case(
+                spec,
+                seed,
+                cfg,
+                cap,
+                None,
+                make,
+                adv,
+                |_| false,
+                trace,
+            ))
         }
         Protocol::BenOr => {
             let pc = BenOrConfig::for_n(n);
@@ -309,6 +428,7 @@ pub fn run_trial(spec: &RunSpec, trial: u64) -> Result<TrialOutcome, String> {
                 move |p, _| BenOrProcess::new(pc, input.bit(p.index())),
                 adv,
                 |_| false,
+                trace,
             ))
         }
         Protocol::Rabin => {
@@ -326,17 +446,26 @@ pub fn run_trial(spec: &RunSpec, trial: u64) -> Result<TrialOutcome, String> {
                     make,
                     CoordEquivocator::new(count),
                     |_| false,
+                    trace,
                 ));
             }
             let adv = generic_static(spec)?;
-            Ok(engine_case(spec, seed, cfg, cap, None, make, adv, |_| {
-                false
-            }))
+            Ok(engine_case(
+                spec,
+                seed,
+                cfg,
+                cap,
+                None,
+                make,
+                adv,
+                |_| false,
+                trace,
+            ))
         }
-        Protocol::Aeba(aeba) => aeba_trial(spec, aeba, seed, cfg),
-        Protocol::AeToE(ae) => ae_to_e_trial(spec, ae, seed, cfg),
-        Protocol::Tournament(tuning) => tournament_trial(spec, tuning, seed, cfg),
-        Protocol::Everywhere => everywhere_trial(spec, seed, cfg),
+        Protocol::Aeba(aeba) => aeba_trial(spec, aeba, seed, cfg, trace),
+        Protocol::AeToE(ae) => ae_to_e_trial(spec, ae, seed, cfg, trace),
+        Protocol::Tournament(tuning) => tournament_trial(spec, tuning, seed, cfg, trace),
+        Protocol::Everywhere => everywhere_trial(spec, seed, cfg, trace),
     }
 }
 
@@ -354,6 +483,7 @@ fn aeba_trial(
     aeba: &AebaSpec,
     seed: u64,
     cfg: NetConfig,
+    trace: &Trace,
 ) -> Result<TrialOutcome, String> {
     let n = spec.n;
     let rounds = aeba.rounds;
@@ -395,12 +525,21 @@ fn aeba_trial(
             make,
             SplitVoter { count },
             |_| false,
+            trace,
         )),
         MessageAdversary::None | MessageAdversary::Crash { .. } => {
             let adv = generic_static(spec)?;
-            Ok(engine_case(spec, seed, cfg, cap, None, make, adv, |_| {
-                false
-            }))
+            Ok(engine_case(
+                spec,
+                seed,
+                cfg,
+                cap,
+                None,
+                make,
+                adv,
+                |_| false,
+                trace,
+            ))
         }
         other => Err(unsupported(spec, &format!("message adversary {other:?}"))),
     }
@@ -411,6 +550,7 @@ fn ae_to_e_trial(
     ae: &AeToESpec,
     seed: u64,
     cfg: NetConfig,
+    trace: &Trace,
 ) -> Result<TrialOutcome, String> {
     let n = spec.n;
     let pc = AeToEConfig::for_n(n, ae.eps);
@@ -436,7 +576,7 @@ fn ae_to_e_trial(
     let out = match spec.adversary.message {
         MessageAdversary::None | MessageAdversary::Crash { .. } => {
             let adv = generic_static(spec)?;
-            engine_case(spec, seed, cfg, cap, ae.flood_cap, make, adv, wrong)
+            engine_case(spec, seed, cfg, cap, ae.flood_cap, make, adv, wrong, trace)
         }
         MessageAdversary::Forge { count, fake } => engine_case(
             spec,
@@ -447,6 +587,7 @@ fn ae_to_e_trial(
             make,
             ResponseForger { count, fake },
             wrong,
+            trace,
         ),
         MessageAdversary::Overload { count, copies } => engine_case(
             spec,
@@ -461,6 +602,7 @@ fn ae_to_e_trial(
                 copies,
             },
             wrong,
+            trace,
         ),
         MessageAdversary::GuessLabels { count, copies } => engine_case(
             spec,
@@ -475,6 +617,7 @@ fn ae_to_e_trial(
                 copies,
             },
             wrong,
+            trace,
         ),
         other => return Err(unsupported(spec, &format!("message adversary {other:?}"))),
     };
@@ -501,6 +644,7 @@ fn tournament_trial(
     tuning: &TournamentTuning,
     seed: u64,
     cfg: NetConfig,
+    trace: &Trace,
 ) -> Result<TrialOutcome, String> {
     if spec.adversary.message != MessageAdversary::None {
         return Err(unsupported(
@@ -519,11 +663,12 @@ fn tournament_trial(
     config.params = tuned_params(n, tuning);
     let inputs: Vec<bool> = (0..n).map(|i| spec.input.bit(i)).collect();
     let mut adv = spec.adversary.tree.instantiate();
-    let mut transport: NetTransport<TourMsg> = NetTransport::new(n, cfg);
+    let mut transport: NetTransport<TourMsg> = NetTransport::new(n, cfg).with_trace(trace.clone());
     let out = tournament::run_with_transport(&config, &inputs, &mut adv, &mut transport);
     let good = out.corrupt.iter().filter(|&&c| !c).count().max(1);
     let decided_count = out.decisions.iter().flatten().count();
     let bits = out.good_bit_stats();
+    trace_talkers(trace, out.rounds, out.bits_per_proc.iter().copied());
     Ok(TrialOutcome {
         agreement: out.agreement_fraction,
         decided: decided_count as f64 / good as f64,
@@ -538,11 +683,17 @@ fn tournament_trial(
         level_stats: out.level_stats,
         corrupt: out.corrupt,
         net: Some(transport.into_stats()),
+        phase_bits: out.phase_bits,
         ..TrialOutcome::base(seed)
     })
 }
 
-fn everywhere_trial(spec: &RunSpec, seed: u64, cfg: NetConfig) -> Result<TrialOutcome, String> {
+fn everywhere_trial(
+    spec: &RunSpec,
+    seed: u64,
+    cfg: NetConfig,
+    trace: &Trace,
+) -> Result<TrialOutcome, String> {
     if spec.output.rounds_cap.is_some() {
         return Err(unsupported(
             spec,
@@ -554,7 +705,7 @@ fn everywhere_trial(spec: &RunSpec, seed: u64, cfg: NetConfig) -> Result<TrialOu
     let labels = config.ae.labels;
     let inputs: Vec<bool> = (0..n).map(|i| spec.input.bit(i)).collect();
     let mut adv = spec.adversary.tree.instantiate();
-    let transport: NetTransport<StackMsg> = NetTransport::new(n, cfg);
+    let transport: NetTransport<StackMsg> = NetTransport::new(n, cfg).with_trace(trace.clone());
     let (out, transport) = match spec.adversary.message {
         MessageAdversary::None => {
             everywhere::run_with_transport(&config, &inputs, &mut adv, NullAdversary, transport)
@@ -609,6 +760,7 @@ fn everywhere_trial(spec: &RunSpec, seed: u64, cfg: NetConfig) -> Result<TrialOu
         .iter()
         .map(|&i| out.bits_per_proc[i] - out.tournament.bits_per_proc[i])
         .collect();
+    trace_talkers(trace, out.rounds, out.bits_per_proc.iter().copied());
     Ok(TrialOutcome {
         agreement: agreeing as f64 / good_n as f64,
         decided: decided_count as f64 / good_n as f64,
@@ -625,6 +777,7 @@ fn everywhere_trial(spec: &RunSpec, seed: u64, cfg: NetConfig) -> Result<TrialOu
         level_stats: out.tournament.level_stats.clone(),
         corrupt: out.corrupt,
         net: Some(transport.into_stats()),
+        phase_bits: out.phase_bits,
         ..TrialOutcome::base(seed)
     })
 }

@@ -2,13 +2,14 @@
 //! aggregates scenario reports — the glue that makes the scenario
 //! runner a thin preset over the same API as every other entry point.
 
-use crate::runner::{run, RunReport};
+use crate::runner::{run_traced, RunReport};
 use crate::spec::{
     AdversarySpec, AeToESpec, AebaSpec, MessageAdversary, Protocol, RunSpec, TournamentTuning,
     TreeAttack,
 };
 use ba_core::aeba::CommitteeAttack;
 use ba_net::{NetConfig, NetStats, ScenarioSpec};
+use ba_obs::Trace;
 use ba_sim::Schedule;
 use std::time::Instant;
 
@@ -221,11 +222,13 @@ impl ScenarioReport {
                 phases.push_str(", ");
             }
             phases.push_str(&format!(
-                "{{\"name\": \"{}\", \"sent\": {}, \"delivered\": {}, \"late\": {}, \
+                "{{\"name\": \"{}\", \"sent\": {}, \"sent_bits\": {}, \"delivered\": {}, \
+                 \"late\": {}, \
                  \"late_rounds\": {}, \"dropped_random\": {}, \"dropped_partition\": {}, \
                  \"dead_letters\": {}}}",
                 esc(&p.name),
                 p.sent,
+                p.sent_bits,
                 p.delivered,
                 p.late,
                 p.late_rounds,
@@ -267,9 +270,15 @@ impl ScenarioReport {
 
 /// Lowers and executes one scenario.
 pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
+    run_scenario_traced(spec, &Trace::off())
+}
+
+/// [`run_scenario`], with trace events fanned into `trace` (see
+/// [`run_traced`] for the deterministic-merge contract).
+pub fn run_scenario_traced(spec: &ScenarioSpec, trace: &Trace) -> Result<ScenarioReport, String> {
     let start = Instant::now();
     let run_spec = lower(spec)?;
-    let report: RunReport = run(&run_spec)?;
+    let report: RunReport = run_traced(&run_spec, trace)?;
     Ok(ScenarioReport {
         spec: spec.clone(),
         agree_mean: report.mean_of(|t| t.agreement),

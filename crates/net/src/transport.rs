@@ -15,7 +15,8 @@
 use crate::event::{DeliveryPolicy, EventQueue};
 use crate::fault::{DropCause, FaultPlan};
 use crate::latency::LatencyModel;
-use ba_sim::{derive_rng, Envelope, ProcId, Schedule, SimRng, Transport};
+use ba_obs::Trace;
+use ba_sim::{derive_rng, Envelope, Payload, ProcId, Schedule, SimRng, Transport};
 
 /// Label space for the network transport's RNG stream (labels `0..n` are
 /// processor coins, `1 << 40` the adversary, `1 << 41` sampler
@@ -108,6 +109,10 @@ pub struct PhaseNetStats {
     pub name: String,
     /// Envelopes handed to the transport during this phase.
     pub sent: u64,
+    /// Payload bits handed to the transport during this phase (counted
+    /// before drop decisions, like the engine's send charges, so phase
+    /// bit totals sum to the run's sent-bit total).
+    pub sent_bits: u64,
     /// Envelopes delivered (whenever they arrived).
     pub delivered: u64,
     /// Envelopes delivered after their round deadline.
@@ -212,6 +217,13 @@ pub struct NetTransport<M> {
     marks: Vec<usize>,
     /// Scratch for batched drains (reused at high-water capacity).
     due: Vec<InFlight<M>>,
+    /// Observability handle (attached via [`NetTransport::with_trace`],
+    /// never part of [`NetConfig`] so configs stay comparable). Events
+    /// aggregate per round; tracing consumes no randomness.
+    trace: Trace,
+    /// Send-side counters of the round currently being sent, flushed as
+    /// one `net:send` event at the next collect (or at `into_stats`).
+    pend: (usize, u64, u64, u64),
 }
 
 impl<M> NetTransport<M> {
@@ -251,7 +263,17 @@ impl<M> NetTransport<M> {
             order_rng,
             marks: Vec::new(),
             due: Vec::new(),
+            trace: Trace::off(),
+            pend: (0, 0, 0, 0),
         }
+    }
+
+    /// Attaches an observability handle. Lives on the transport, not on
+    /// [`NetConfig`], so configs stay `PartialEq`-comparable and trace
+    /// wiring can never change which runs compare equal.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The statistics accumulated so far.
@@ -259,9 +281,59 @@ impl<M> NetTransport<M> {
         &self.stats
     }
 
+    /// The phase timetable in effect, as `(name, start_round)` pairs:
+    /// the configured [`Schedule`] when present, otherwise the phases
+    /// derived from [`Transport::mark_phase`] announcements. Pairs with
+    /// `ba_sim::Metrics::phase_bits` for per-phase bit attribution.
+    pub fn phase_marks(&self) -> Vec<(String, usize)> {
+        if let Some(schedule) = &self.cfg.schedule {
+            let mut start = 0usize;
+            let mut out = Vec::new();
+            for p in schedule.iter() {
+                out.push((p.name.clone(), start));
+                start += p.len;
+            }
+            out.push(("(past-schedule)".to_owned(), start));
+            out
+        } else {
+            self.marks
+                .iter()
+                .zip(&self.stats.per_phase)
+                .map(|(&start, p)| (p.name.clone(), start))
+                .collect()
+        }
+    }
+
+    /// Flushes the pending send-side counters as one `net:send` event.
+    fn flush_send_event(&mut self) {
+        let (round, sent, bits, dropped) = self.pend;
+        if sent == 0 {
+            return;
+        }
+        self.pend = (0, 0, 0, 0);
+        let phase = self
+            .phase_marks()
+            .iter()
+            .rev()
+            .find(|(_, start)| *start <= round)
+            .map(|(name, _)| name.clone())
+            .unwrap_or_default();
+        self.trace.event(
+            "net:send",
+            round as u64,
+            &phase,
+            &[
+                ("sent", sent.into()),
+                ("bits", bits.into()),
+                ("dropped", dropped.into()),
+            ],
+        );
+    }
+
     /// Consumes the transport, folding still-in-flight envelopes into
     /// [`NetStats::in_flight_at_end`].
     pub fn into_stats(mut self) -> NetStats {
+        self.flush_send_event();
         self.stats.in_flight_at_end = self.queue.len() as u64;
         self.stats
     }
@@ -289,11 +361,21 @@ impl<M> NetTransport<M> {
     }
 }
 
-impl<M> Transport<M> for NetTransport<M> {
+impl<M: Payload> Transport<M> for NetTransport<M> {
     fn send(&mut self, round: usize, env: Envelope<M>) {
         self.stats.sent += 1;
+        let bits = env.bit_len();
         if let Some(b) = self.phase_bucket(round) {
             b.sent += 1;
+            b.sent_bits += bits;
+        }
+        if self.trace.is_on() {
+            if self.pend.0 != round {
+                self.flush_send_event();
+            }
+            self.pend.0 = round;
+            self.pend.1 += 1;
+            self.pend.2 += bits;
         }
         if let Some(cause) =
             self.cfg
@@ -313,6 +395,9 @@ impl<M> Transport<M> for NetTransport<M> {
                         b.dropped_partition += 1;
                     }
                 }
+            }
+            if self.trace.is_on() {
+                self.pend.3 += 1;
             }
             return;
         }
@@ -339,6 +424,16 @@ impl<M> Transport<M> for NetTransport<M> {
         // structural.) Batched: whole same-arrival buckets detach in one
         // tree operation instead of one heap pop per envelope.
         let now = (round as u64).saturating_mul(self.cfg.delta);
+        // Close out the previous round's send-side counters first, so
+        // the trace reads send → deliver in timeline order.
+        if self.trace.is_on() {
+            self.flush_send_event();
+        }
+        let before = (
+            self.stats.delivered,
+            self.stats.late,
+            self.stats.dead_letters,
+        );
         let mut due = std::mem::take(&mut self.due);
         debug_assert!(due.is_empty());
         self.queue.drain_due_policy(
@@ -373,6 +468,21 @@ impl<M> Transport<M> for NetTransport<M> {
             deliver(inflight.env);
         }
         self.due = due;
+        if self.trace.is_on() {
+            let delivered = self.stats.delivered - before.0;
+            if delivered > 0 {
+                self.trace.event(
+                    "net:recv",
+                    round as u64,
+                    "",
+                    &[
+                        ("delivered", delivered.into()),
+                        ("late", (self.stats.late - before.1).into()),
+                        ("dead_letters", (self.stats.dead_letters - before.2).into()),
+                    ],
+                );
+            }
+        }
     }
 
     fn is_online(&self, round: usize, p: ProcId) -> bool {
@@ -405,6 +515,12 @@ impl<M> Transport<M> for NetTransport<M> {
         {
             return;
         }
+        // A new phase opens: flush the previous phase's send counters
+        // before the span event so trace lines stay in timeline order.
+        if self.trace.is_on() {
+            self.flush_send_event();
+        }
+        self.trace.event("net:phase", round as u64, name, &[]);
         self.marks.push(round);
         self.stats.per_phase.push(PhaseNetStats {
             name: name.to_owned(),
@@ -684,6 +800,88 @@ mod tests {
         assert_eq!(outcome.good_count(), 3);
         assert!(outcome.all_good_agree_on(&true));
         assert_eq!(outcome.good_agreement_fraction(), 1.0);
+    }
+
+    #[test]
+    fn per_phase_sent_bits_cover_every_send() {
+        let mut t = NetTransport::new(2, NetConfig::synchronous());
+        t.mark_phase(0, "a");
+        t.send(0, env(0, 1, 1)); // u16 payload: 16 bits
+        t.send(0, env(1, 0, 2));
+        t.mark_phase(1, "b");
+        t.send(1, env(0, 1, 3));
+        let _ = drain(&mut t, 1);
+        let _ = drain(&mut t, 2);
+        let marks = t.phase_marks();
+        assert_eq!(
+            marks,
+            vec![("a".to_string(), 0), ("b".to_string(), 1)],
+            "derived timetable exposed for bit attribution"
+        );
+        let stats = t.into_stats();
+        assert_eq!(stats.per_phase[0].sent_bits, 32);
+        assert_eq!(stats.per_phase[1].sent_bits, 16);
+        let phase_total: u64 = stats.per_phase.iter().map(|p| p.sent_bits).sum();
+        assert_eq!(phase_total, 48, "phase bits sum to everything sent");
+    }
+
+    #[test]
+    fn traced_transport_emits_aggregated_events_and_changes_nothing() {
+        use ba_obs::Trace;
+        let run = |trace: Trace| {
+            let cfg = NetConfig::synchronous()
+                .with_seed(5)
+                .with_faults(FaultPlan {
+                    drop_prob: 0.3,
+                    ..FaultPlan::default()
+                });
+            let mut t = NetTransport::new(4, cfg).with_trace(trace);
+            t.mark_phase(0, "x");
+            let mut got = Vec::new();
+            for r in 0..3usize {
+                for i in 0..4 {
+                    t.send(r, env(i, (i + 1) % 4, (r * 4 + i) as u16));
+                }
+                t.collect(r + 1, &mut |e| got.push(e.payload));
+            }
+            (got, t.into_stats())
+        };
+        let (plain, plain_stats) = run(Trace::off());
+        let trace = Trace::memory();
+        let (traced, traced_stats) = run(trace.clone());
+        assert_eq!(plain, traced, "tracing must not perturb delivery");
+        assert_eq!(plain_stats.dropped_random, traced_stats.dropped_random);
+        let lines = trace.take_lines();
+        assert!(lines[0].starts_with("{\"kind\": \"net:phase\""));
+        let sends: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.starts_with("{\"kind\": \"net:send\""))
+            .collect();
+        assert_eq!(sends.len(), 3, "one aggregated event per sending round");
+        assert!(sends[0].contains("\"sent\": 4"));
+        assert!(sends[0].contains("\"phase\": \"x\""));
+        let recvs = lines
+            .iter()
+            .filter(|l| l.starts_with("{\"kind\": \"net:recv\""))
+            .count();
+        assert!(recvs >= 1, "deliveries must be summarized");
+    }
+
+    #[test]
+    fn phase_marks_reflect_configured_schedule() {
+        let mut schedule = Schedule::new();
+        schedule.push("one", 2);
+        schedule.push("two", 3);
+        let t: NetTransport<u16> =
+            NetTransport::new(2, NetConfig::synchronous().with_schedule(schedule));
+        assert_eq!(
+            t.phase_marks(),
+            vec![
+                ("one".to_string(), 0),
+                ("two".to_string(), 2),
+                ("(past-schedule)".to_string(), 5),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Log-bucketed histograms: powers-of-two buckets over `u64` samples.
+//!
+//! Bucket 0 holds the value 0; bucket `i ≥ 1` holds `[2^(i-1), 2^i − 1]`.
+//! That gives 65 buckets total, enough for any `u64`, with O(1) record
+//! and O(buckets) percentile queries — the right trade for per-phase
+//! bit and latency distributions where exact order statistics are
+//! overkill but orders of magnitude matter.
+
+/// A log-bucketed (powers-of-two) histogram.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Number of buckets: one for zero plus one per bit position.
+const BUCKETS: usize = 65;
+
+/// The bucket index a value lands in.
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The inclusive value range `[lo, hi]` of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 0)
+        } else {
+            (1u64 << (i - 1), (1u64 << (i - 1)) + ((1u64 << (i - 1)) - 1))
+        }
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples.
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+
+    /// Nearest-rank percentile, resolved to the **upper bound** of the
+    /// bucket holding that rank (an overestimate by at most 2×, the
+    /// bucket width). `p` in `[0, 100]`; returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                // Clamp to observed extremes so p100 == max exactly.
+                return hi.min(self.max).max(lo.min(self.max));
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.total == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // 0 is its own bucket; [2^(i-1), 2^i - 1] thereafter.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..64 {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(lo, 1u64 << (i - 1));
+            assert_eq!(hi, (1u64 << i) - 1);
+            assert_eq!(bucket_index(lo), i, "low edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "high edge of bucket {i}");
+            assert_eq!(bucket_index(hi + 1), i + 1, "first value past bucket {i}");
+        }
+        let (lo, hi) = Histogram::bucket_bounds(64);
+        assert_eq!(lo, 1u64 << 63);
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 1106.0 / 6.0).abs() < 1e-12);
+        let buckets = h.buckets();
+        assert!(buckets.contains(&(0, 0, 1)));
+        assert!(buckets.contains(&(2, 3, 2)));
+        assert!(buckets.contains(&(64, 127, 1)));
+    }
+
+    #[test]
+    fn percentiles_land_in_the_right_bucket() {
+        let mut h = Histogram::new();
+        // 99 samples of 10, one of 1000: p50 must resolve to 10's
+        // bucket, p100 to the observed max.
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1000);
+        let p50 = h.percentile(50.0);
+        assert!((8..=15).contains(&p50), "p50 {p50} outside 10's bucket");
+        assert_eq!(h.percentile(100.0), 1000);
+        assert!(h.percentile(99.9) >= 512, "tail must reach 1000's bucket");
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 1000, 0] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Default (bucket-less) histograms merge too.
+        let mut d = Histogram::default();
+        d.merge(&all);
+        assert_eq!(d, all);
+    }
+}

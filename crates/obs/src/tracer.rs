@@ -1,0 +1,426 @@
+//! The tracer trait, sinks, and the cloneable [`Trace`] handle.
+
+use crate::profile::{ProfileAcc, ProfileTimer};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A typed field value carried by a trace event.
+///
+/// Rendering is deterministic: integers print exactly, floats use
+/// Rust's shortest round-trip `Display`, strings are JSON-escaped.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Field {
+    /// An unsigned counter (rounds, bits, messages, seeds).
+    U64(u64),
+    /// A ratio or mean. Only record values derived deterministically
+    /// from the run — never wall-clock times (those belong in the
+    /// profile section).
+    F64(f64),
+    /// A label (phase names, protocol names, oracle verdicts).
+    Str(String),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Self {
+        Field::U64(v)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F64(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::Str(v)
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders one event as a JSONL line: `kind` first, then the sim-time
+/// `round`, the `phase` label (omitted when empty), then `fields` in
+/// argument order. Key order is fixed so traces are byte-comparable.
+pub fn render_event(kind: &str, round: u64, phase: &str, fields: &[(&str, Field)]) -> String {
+    let mut line = format!("{{\"kind\": \"{}\", \"round\": {}", esc(kind), round);
+    if !phase.is_empty() {
+        line.push_str(&format!(", \"phase\": \"{}\"", esc(phase)));
+    }
+    for (key, value) in fields {
+        match value {
+            Field::U64(v) => line.push_str(&format!(", \"{}\": {}", esc(key), v)),
+            Field::F64(v) => {
+                if v.is_finite() {
+                    line.push_str(&format!(", \"{}\": {}", esc(key), v));
+                } else {
+                    line.push_str(&format!(", \"{}\": null", esc(key)));
+                }
+            }
+            Field::Str(v) => line.push_str(&format!(", \"{}\": \"{}\"", esc(key), esc(v))),
+        }
+    }
+    line.push('}');
+    line
+}
+
+/// The span/event sink interface. Implementations decide where rendered
+/// JSONL lines go; the default [`NoopTracer`] keeps nothing.
+pub trait Tracer {
+    /// Whether this sink keeps events. Callers may (and the instrumented
+    /// hot paths do) skip building payloads entirely when `false`.
+    fn enabled(&self) -> bool;
+
+    /// Appends one already-rendered JSONL line.
+    fn record(&mut self, line: String);
+
+    /// Renders and records an event keyed by sim-time round and phase
+    /// label. No-op when the sink is disabled.
+    fn event(&mut self, kind: &str, round: u64, phase: &str, fields: &[(&str, Field)]) {
+        if self.enabled() {
+            self.record(render_event(kind, round, phase, fields));
+        }
+    }
+
+    /// Records a span: an interval of sim-time rounds under a phase
+    /// label. Spans are plain events with fixed `start`/`end` fields so
+    /// readers need no matching logic.
+    fn span(&mut self, kind: &str, start: u64, end: u64, phase: &str, fields: &[(&str, Field)]) {
+        if self.enabled() {
+            let mut all = vec![("start", Field::U64(start)), ("end", Field::U64(end))];
+            all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
+            self.record(render_event(kind, start, phase, &all));
+        }
+    }
+}
+
+/// The zero-cost default sink: discards everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _line: String) {}
+}
+
+/// An in-memory sink. The harness gives each trial its own `MemSink`
+/// and merges the buffers in trial order, which is what makes merged
+/// traces deterministic at any thread count.
+#[derive(Clone, Debug, Default)]
+pub struct MemSink {
+    lines: Vec<String>,
+}
+
+impl MemSink {
+    /// Takes the buffered lines, leaving the sink empty.
+    pub fn take_lines(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.lines)
+    }
+}
+
+impl Tracer for MemSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, line: String) {
+        self.lines.push(line);
+    }
+}
+
+/// A buffered JSONL file sink.
+pub struct FileSink {
+    out: BufWriter<File>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(FileSink {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl Tracer for FileSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, line: String) {
+        // Trace output is best-effort: a full disk should not alter the
+        // run it is observing.
+        let _ = writeln!(self.out, "{line}");
+    }
+}
+
+enum SinkKind {
+    Mem(MemSink),
+    File(FileSink),
+}
+
+struct Shared {
+    sink: SinkKind,
+    profile: ProfileAcc,
+}
+
+/// The cloneable handle threaded through the engine, transport, and
+/// harness. [`Trace::off`] (the `Default`) is a `None` inside — every
+/// instrumentation site guards on [`Trace::is_on`], so the disabled
+/// path is one branch and zero allocation.
+#[derive(Clone, Default)]
+pub struct Trace {
+    inner: Option<Arc<Mutex<Shared>>>,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace").field("on", &self.is_on()).finish()
+    }
+}
+
+impl Trace {
+    /// The disabled handle: records nothing, costs one branch per site.
+    pub fn off() -> Self {
+        Trace { inner: None }
+    }
+
+    /// A handle over a fresh in-memory sink.
+    pub fn memory() -> Self {
+        Trace {
+            inner: Some(Arc::new(Mutex::new(Shared {
+                sink: SinkKind::Mem(MemSink::default()),
+                profile: ProfileAcc::default(),
+            }))),
+        }
+    }
+
+    /// A handle over a JSONL file sink at `path`.
+    pub fn to_file(path: &Path) -> io::Result<Self> {
+        Ok(Trace {
+            inner: Some(Arc::new(Mutex::new(Shared {
+                sink: SinkKind::File(FileSink::create(path)?),
+                profile: ProfileAcc::default(),
+            }))),
+        })
+    }
+
+    /// Whether events are being kept.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Shared) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|m| f(&mut m.lock().expect("trace lock poisoned")))
+    }
+
+    /// Renders and records an event (no-op when off).
+    pub fn event(&self, kind: &str, round: u64, phase: &str, fields: &[(&str, Field)]) {
+        if self.is_on() {
+            let line = render_event(kind, round, phase, fields);
+            self.raw(line);
+        }
+    }
+
+    /// Records a span event with fixed `start`/`end` fields.
+    pub fn span(&self, kind: &str, start: u64, end: u64, phase: &str, fields: &[(&str, Field)]) {
+        if self.is_on() {
+            let mut all = vec![("start", Field::U64(start)), ("end", Field::U64(end))];
+            all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
+            self.raw(render_event(kind, start, phase, &all));
+        }
+    }
+
+    /// Appends a pre-rendered line (the deterministic-merge path: the
+    /// harness replays per-trial memory buffers into the master sink in
+    /// trial order).
+    pub fn raw(&self, line: String) {
+        self.with(|s| match &mut s.sink {
+            SinkKind::Mem(m) => m.record(line),
+            SinkKind::File(f) => f.record(line),
+        });
+    }
+
+    /// Takes buffered lines from a memory-backed handle (empty for file
+    /// sinks or when off).
+    pub fn take_lines(&self) -> Vec<String> {
+        self.with(|s| match &mut s.sink {
+            SinkKind::Mem(m) => m.take_lines(),
+            SinkKind::File(_) => Vec::new(),
+        })
+        .unwrap_or_default()
+    }
+
+    /// Adds one sample to the quarantined wall-clock profile.
+    pub fn profile_add(&self, name: &str, seconds: f64) {
+        self.with(|s| s.profile.add(name, seconds));
+    }
+
+    /// Starts a scoped wall-clock timer that charges its elapsed time
+    /// to `name` on drop. A no-op guard when tracing is off, so the
+    /// instrumented code takes no `Instant` samples either.
+    pub fn timer(&self, name: &'static str) -> ProfileTimer {
+        ProfileTimer::start(self.clone(), name, self.is_on())
+    }
+
+    /// Folds another handle's profile into this one (used when merging
+    /// per-trial traces; entries are keyed by name, so the merge is
+    /// order-insensitive).
+    pub fn merge_profile_from(&self, other: &Trace) {
+        if let Some(acc) = other.with(|s| std::mem::take(&mut s.profile)) {
+            self.with(|s| s.profile.merge(&acc));
+        }
+    }
+
+    /// A snapshot of the accumulated profile.
+    pub fn profile_snapshot(&self) -> ProfileAcc {
+        self.with(|s| s.profile.clone()).unwrap_or_default()
+    }
+
+    /// Emits the quarantined `"profile"` section (one line per entry,
+    /// sorted by name) and flushes file sinks. Call once, at the end of
+    /// a run; pinning tests strip these lines before comparing.
+    pub fn finish(&self) {
+        self.with(|s| {
+            for line in s.profile.render_lines() {
+                match &mut s.sink {
+                    SinkKind::Mem(m) => m.record(line),
+                    SinkKind::File(f) => f.record(line),
+                }
+            }
+            if let SinkKind::File(f) = &mut s.sink {
+                let _ = f.flush();
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_fixed_key_order_and_escapes() {
+        let line = render_event(
+            "net:send",
+            7,
+            "L0:expose",
+            &[
+                ("sent", Field::U64(64)),
+                ("ratio", Field::F64(0.5)),
+                ("who", Field::Str("a\"b".into())),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"kind\": \"net:send\", \"round\": 7, \"phase\": \"L0:expose\", \
+             \"sent\": 64, \"ratio\": 0.5, \"who\": \"a\\\"b\"}"
+        );
+    }
+
+    #[test]
+    fn omits_empty_phase_and_handles_non_finite() {
+        let line = render_event("x", 0, "", &[("v", Field::F64(f64::NAN))]);
+        assert_eq!(line, "{\"kind\": \"x\", \"round\": 0, \"v\": null}");
+    }
+
+    #[test]
+    fn noop_tracer_is_disabled() {
+        let mut t = NoopTracer;
+        assert!(!t.enabled());
+        t.event("x", 0, "", &[]);
+        // Nothing observable: NoopTracer holds no state by construction.
+    }
+
+    #[test]
+    fn off_handle_records_nothing() {
+        let t = Trace::off();
+        assert!(!t.is_on());
+        t.event("x", 1, "p", &[("a", 1u64.into())]);
+        assert!(t.take_lines().is_empty());
+    }
+
+    #[test]
+    fn memory_handle_buffers_in_order() {
+        let t = Trace::memory();
+        t.event("a", 1, "", &[]);
+        t.event("b", 2, "p", &[("bits", 64u64.into())]);
+        let lines = t.take_lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"kind\": \"a\""));
+        assert!(lines[1].contains("\"bits\": 64"));
+        assert!(t.take_lines().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn span_carries_start_and_end() {
+        let t = Trace::memory();
+        t.span("phase", 3, 9, "root:coin", &[("bits", 10u64.into())]);
+        let lines = t.take_lines();
+        assert_eq!(
+            lines[0],
+            "{\"kind\": \"phase\", \"round\": 3, \"phase\": \"root:coin\", \
+             \"start\": 3, \"end\": 9, \"bits\": 10}"
+        );
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let t = Trace::memory();
+        let u = t.clone();
+        u.event("a", 0, "", &[]);
+        assert_eq!(t.take_lines().len(), 1);
+    }
+
+    #[test]
+    fn finish_appends_profile_section() {
+        let t = Trace::memory();
+        t.event("a", 0, "", &[]);
+        t.profile_add("sim:step", 0.5);
+        t.finish();
+        let lines = t.take_lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"section\": \"profile\""));
+        assert!(lines[1].contains("\"name\": \"sim:step\""));
+    }
+
+    #[test]
+    fn file_sink_round_trips() {
+        let dir = std::env::temp_dir().join("ba-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        let t = Trace::to_file(&path).unwrap();
+        t.event("a", 1, "", &[("bits", 7u64.into())]);
+        t.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"kind\": \"a\", \"round\": 1, \"bits\": 7}\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

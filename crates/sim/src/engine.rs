@@ -7,6 +7,7 @@ use crate::metrics::Metrics;
 use crate::process::{Process, RoundCtx};
 use crate::rng::{derive_rng, SimRng, ADVERSARY_LABEL};
 use crate::transport::{Lockstep, Transport};
+use ba_obs::Trace;
 
 /// Builder for a [`Sim`]: number of processors, randomness seed,
 /// corruption budget, and flood cap.
@@ -34,6 +35,7 @@ pub struct SimBuilder {
     seed: u64,
     max_corruptions: usize,
     flood_cap: usize,
+    trace: Trace,
 }
 
 impl SimBuilder {
@@ -52,6 +54,7 @@ impl SimBuilder {
             seed: 0,
             max_corruptions: ((n as f64) * (1.0 / 3.0 - 0.05)).floor() as usize,
             flood_cap: 64 * n * n,
+            trace: Trace::off(),
         }
     }
 
@@ -71,6 +74,16 @@ impl SimBuilder {
     /// only; does not model a network limit).
     pub fn flood_cap(mut self, cap: usize) -> Self {
         self.flood_cap = cap;
+        self
+    }
+
+    /// Attaches an observability handle (see `ba-obs`). The engine
+    /// emits deterministic run events and quarantined wall-clock stage
+    /// profiles through it; the default [`Trace::off`] keeps the
+    /// pre-observability behaviour bit-for-bit (tracing consumes no
+    /// randomness either way).
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -122,6 +135,7 @@ impl SimBuilder {
             intercepted: Vec::new(),
             metrics: Metrics::new(self.n),
             round: 0,
+            trace: self.trace,
         }
     }
 }
@@ -151,6 +165,7 @@ pub struct Sim<P: Process, A, T = Lockstep<<P as Process>::Msg>> {
     intercepted: Vec<Envelope<P::Msg>>,
     metrics: Metrics,
     round: usize,
+    trace: Trace,
 }
 
 impl<P: Process, A: Adversary<P>, T: Transport<P::Msg>> Sim<P, A, T> {
@@ -178,6 +193,9 @@ impl<P: Process, A: Adversary<P>, T: Transport<P::Msg>> Sim<P, A, T> {
     /// 4. surviving traffic is handed to the transport for future delivery.
     pub fn step(&mut self) {
         let round = self.round;
+        // Open this round's bit-attribution bucket before any send is
+        // charged (pure accounting: no randomness, no trace needed).
+        self.metrics.begin_round();
         // Reuse the round-scratch allocations (inboxes, pending,
         // intercepted) at their high-water capacity instead of
         // re-collecting fresh `Vec`s every round.
@@ -189,6 +207,7 @@ impl<P: Process, A: Adversary<P>, T: Transport<P::Msg>> Sim<P, A, T> {
 
         // (1) Deliver everything due at the start of this round.
         {
+            let _t = self.trace.timer("sim:deliver");
             let inboxes = &mut self.inboxes;
             let metrics = &mut self.metrics;
             self.transport.collect(round, &mut |e: Envelope<P::Msg>| {
@@ -201,6 +220,7 @@ impl<P: Process, A: Adversary<P>, T: Transport<P::Msg>> Sim<P, A, T> {
         // straight into the shared pending buffer (RoundCtx::send only
         // pushes). Offline (crashed / churned-out) processors skip the
         // round; whatever was just delivered to them is lost.
+        let step_timer = self.trace.timer("sim:procs");
         for (i, inbox) in self.inboxes.iter().enumerate() {
             if self.corrupt[i] || !self.transport.is_online(round, ProcId::new(i)) {
                 continue;
@@ -214,8 +234,10 @@ impl<P: Process, A: Adversary<P>, T: Transport<P::Msg>> Sim<P, A, T> {
             };
             self.procs[i].on_round(&mut ctx, inbox);
         }
+        drop(step_timer);
 
         // (3) Rushing adversary: sees messages touching corrupt processors.
+        let adv_timer = self.trace.timer("sim:adversary");
         self.intercepted.extend(
             self.pending
                 .iter()
@@ -244,6 +266,17 @@ impl<P: Process, A: Adversary<P>, T: Transport<P::Msg>> Sim<P, A, T> {
                 self.corrupt[i] = true;
                 self.budget_left -= 1;
                 newly_corrupt.push(i);
+                // Corruption decisions are a deterministic function of
+                // the seed, so this event is trace-stable.
+                self.trace.event(
+                    "sim:corrupt",
+                    round as u64,
+                    "",
+                    &[
+                        ("proc", (i as u64).into()),
+                        ("budget_left", (self.budget_left as u64).into()),
+                    ],
+                );
             }
         }
         // Drop pending messages of processors corrupted mid-round if asked.
@@ -268,10 +301,12 @@ impl<P: Process, A: Adversary<P>, T: Transport<P::Msg>> Sim<P, A, T> {
                 injected += 1;
             }
         }
+        drop(adv_timer);
 
         // (4) Account sends and hand this round's traffic to the
         // transport; receive charges happen on delivery, so dropped or
         // still-in-flight envelopes are never charged to their recipient.
+        let _t = self.trace.timer("sim:send");
         for e in self.pending.drain(..) {
             self.metrics.charge_send(e.from, e.bit_len());
             self.transport.send(round, e);
@@ -324,6 +359,24 @@ impl<P: Process, A: Adversary<P>, T: Transport<P::Msg>> Sim<P, A, T> {
         let faulty: Vec<bool> = (0..self.n)
             .map(|i| self.transport.is_faulty(self.round, ProcId::new(i)))
             .collect();
+        self.trace.event(
+            "sim:end",
+            self.round as u64,
+            "",
+            &[
+                (
+                    "decided",
+                    outputs.iter().filter(|o| o.is_some()).count().into(),
+                ),
+                (
+                    "corrupt",
+                    self.corrupt.iter().filter(|&&c| c).count().into(),
+                ),
+                ("faulty", faulty.iter().filter(|&&f| f).count().into()),
+                ("total_bits", self.metrics.total_bits().into()),
+                ("total_msgs", self.metrics.total_msgs().into()),
+            ],
+        );
         (
             RunOutcome {
                 rounds: self.round,
@@ -651,6 +704,65 @@ mod tests {
                 .total_bits()
         };
         assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_events() {
+        let build = |trace: Trace| {
+            SimBuilder::new(9)
+                .seed(3)
+                .max_corruptions(2)
+                .trace(trace)
+                .build(
+                    |p, _| Echo {
+                        input: p.index() % 3 != 0,
+                        out: None,
+                    },
+                    StaticAdversary::first_k(2),
+                )
+                .run(5)
+        };
+        let plain = build(Trace::off());
+        let trace = Trace::memory();
+        let traced = build(trace.clone());
+        assert_eq!(plain.rounds, traced.rounds);
+        assert_eq!(plain.corrupt, traced.corrupt);
+        assert!(plain.outputs == traced.outputs);
+        assert_eq!(plain.metrics.total_bits(), traced.metrics.total_bits());
+        let lines = trace.take_lines();
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.starts_with("{\"kind\": \"sim:corrupt\""))
+                .count(),
+            2,
+            "one event per corruption"
+        );
+        assert!(
+            lines.last().unwrap().starts_with("{\"kind\": \"sim:end\""),
+            "run summary event closes the trace"
+        );
+        // Wall times are quarantined: no event payload carries seconds.
+        assert!(lines.iter().all(|l| !l.contains("secs")));
+        assert!(!trace.profile_snapshot().is_empty(), "stage timers ran");
+    }
+
+    #[test]
+    fn per_round_bits_sum_to_total() {
+        let outcome = SimBuilder::new(4)
+            .build(
+                |_, _| Echo {
+                    input: true,
+                    out: None,
+                },
+                NullAdversary,
+            )
+            .run(5);
+        let by_round: u64 = (0..outcome.rounds)
+            .map(|r| outcome.metrics.bits_in_round(r))
+            .sum();
+        assert_eq!(by_round, outcome.metrics.total_bits());
+        assert_eq!(outcome.metrics.bits_in_round(0), 16, "all sends in round 0");
     }
 
     #[test]

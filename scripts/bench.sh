@@ -43,6 +43,31 @@ EXP_ROWS="${EXP_ROWS%,\\n}"
 echo "== scenario suite (ba-net fault models) =="
 cargo run --release --offline -p ba-bench --bin scenario -- scenarios --json "$SCNJSON"
 
+# Trace overhead: the same scenario pair untraced vs traced (ba-obs
+# JSONL event capture). The delta is what `--trace` costs; the traced
+# run's quarantined profile section supplies the hotspot rows below.
+echo "== trace overhead (untraced vs traced scenario pair) =="
+TRACEJSONL="$(mktemp)"
+trap 'rm -f "$NDJSON" "$SCNJSON" "$TRACEJSONL"' EXIT
+TRACE_SCENARIOS="scenarios/03-partition-during-election.scn scenarios/07-everywhere-lossy.scn"
+start=$(date +%s.%N)
+cargo run --release --offline -p ba-bench --bin scenario -- \
+    $TRACE_SCENARIOS >/dev/null
+end=$(date +%s.%N)
+UNTRACED_WALL=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+start=$(date +%s.%N)
+cargo run --release --offline -p ba-bench --bin scenario -- \
+    --trace "$TRACEJSONL" $TRACE_SCENARIOS >/dev/null
+end=$(date +%s.%N)
+TRACED_WALL=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')
+TRACE_RATIO=$(awk -v t="$TRACED_WALL" -v u="$UNTRACED_WALL" \
+    'BEGIN { if (u > 0) printf "%.2f", t / u; else print "0" }')
+echo "   untraced ${UNTRACED_WALL}s, traced ${TRACED_WALL}s (x${TRACE_RATIO})"
+# The profile lines are flat JSON objects already; top 5 by secs.
+PROFILE_ROWS=$(grep '"section": "profile"' "$TRACEJSONL" \
+    | awk -F'"secs": ' '{ v = $2; sub(/[^0-9.eE+-].*/, "", v); print v "\t" $0 }' \
+    | sort -gr | head -5 | cut -f2- | sed 's/^/    /;s/$/,/' | sed '$ s/,$//')
+
 # Adversary-search throughput: trials/sec over the default seed-pinned
 # hunt (grid + sampled fault space, including each finding's shrink).
 echo "== hunt throughput =="
@@ -92,6 +117,15 @@ SH_256_REF=$(ns "$NDJSON" "shamir/reconstruct_ref_n256")
     echo "  ],"
     echo "  \"experiments\": ["
     printf "%b\n" "$EXP_ROWS"
+    echo "  ],"
+    echo "  \"trace_overhead\": {"
+    echo "    \"scenarios\": \"03-partition-during-election + 07-everywhere-lossy\","
+    echo "    \"untraced_wall_seconds\": ${UNTRACED_WALL},"
+    echo "    \"traced_wall_seconds\": ${TRACED_WALL},"
+    echo "    \"ratio\": ${TRACE_RATIO}"
+    echo "  },"
+    echo "  \"profile_hotspots\": ["
+    printf "%s\n" "$PROFILE_ROWS"
     echo "  ],"
     echo "  \"hunt\": {"
     echo "    \"budget_trials\": ${HUNT_BUDGET},"

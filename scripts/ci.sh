@@ -30,6 +30,17 @@ echo "== scenario smoke (composed tree adversary + partition) =="
 cargo run --release --offline -p ba-bench --bin scenario -- \
     scenarios/10-composed-tree-partition.scn
 
+echo "== trace smoke (phase attribution sums to total_bits) =="
+# A traced scenario run digested by trace-report --check: fails unless
+# every trial's per-phase bit attribution sums exactly to its
+# total_bits (the ba-obs accounting invariant).
+TRACE_TMP="$(mktemp)"
+trap 'rm -f "$TRACE_TMP"' EXIT
+cargo run --release --offline -p ba-bench --bin scenario -- \
+    --trace "$TRACE_TMP" scenarios/03-partition-during-election.scn
+cargo run --release --offline -p ba-bench --bin trace-report -- \
+    --check "$TRACE_TMP"
+
 echo "== hunt smoke (seed-pinned, budget-bounded) =="
 # The adversary search must keep rediscovering the coordinator-
 # equivocation break against the leader-based baselines within a small

@@ -18,6 +18,7 @@
 //! | [`core`] | Algorithms 1–5: elections, AEBA with unreliable coins, the tournament, almost-everywhere→everywhere, everywhere agreement |
 //! | [`baselines`] | Phase King, Ben-Or, Rabin comparators |
 //! | [`net`] | discrete-event network: latency models, fault injection, scenario specs |
+//! | [`obs`] | deterministic tracing, per-phase bit attribution, quarantined profiling |
 //! | [`exp`] | the unified `Experiment` API: typed `RunSpec` over protocol × adversary × transport |
 //!
 //! ## Quickstart
@@ -41,6 +42,7 @@ pub use ba_core as core;
 pub use ba_crypto as crypto;
 pub use ba_exp as exp;
 pub use ba_net as net;
+pub use ba_obs as obs;
 pub use ba_sampler as sampler;
 pub use ba_sim as sim;
 pub use ba_topology as topology;

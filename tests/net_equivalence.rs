@@ -278,6 +278,63 @@ fn tournament_is_equivalent_under_adversaries() {
     }
 }
 
+/// The NoopTracer pin: runs with `Trace::off()` explicitly attached to
+/// both the engine and the transport — and runs with a live
+/// `Trace::memory()` attached — are byte-identical to the plain
+/// pre-tracing construction. Observability is an observer: it consumes
+/// no randomness and perturbs no outcome.
+#[test]
+fn traced_net_runs_pin_the_untraced_output() {
+    use king_saia::obs::Trace;
+
+    let n = 48;
+    for seed in [1u64, 2, 3] {
+        let cfg = PhaseKingConfig::for_n(n);
+        let make = || move |p: ProcId, _| PhaseKingProcess::new(cfg, p.index().is_multiple_of(3));
+        let rounds = cfg.total_rounds() + 2;
+        let run = |trace: Option<Trace>| -> RunOutcome<_> {
+            let mut transport = NetTransport::new(n, NetConfig::synchronous().with_seed(seed));
+            let mut builder = SimBuilder::new(n).seed(seed);
+            if let Some(t) = trace {
+                transport = transport.with_trace(t.clone());
+                builder = builder.trace(t);
+            }
+            builder
+                .build_with_transport(make(), StaticAdversary::first_k(5), transport)
+                .run(rounds)
+        };
+        let plain = run(None);
+        let off = run(Some(Trace::off()));
+        let live_trace = Trace::memory();
+        let live = run(Some(live_trace.clone()));
+        for (label, traced) in [("Trace::off", &off), ("Trace::memory", &live)] {
+            assert_eq!(plain.rounds, traced.rounds, "seed {seed}: {label}");
+            assert_eq!(plain.corrupt, traced.corrupt, "seed {seed}: {label}");
+            assert_eq!(plain.faulty, traced.faulty, "seed {seed}: {label}");
+            assert!(plain.outputs == traced.outputs, "seed {seed}: {label}");
+            assert_eq!(
+                plain.metrics.total_bits(),
+                traced.metrics.total_bits(),
+                "seed {seed}: {label}"
+            );
+            for i in 0..n {
+                let p = ProcId::new(i);
+                assert_eq!(
+                    plain.metrics.bits_sent_by(p),
+                    traced.metrics.bits_sent_by(p),
+                    "seed {seed}: {label}: {p}"
+                );
+            }
+        }
+        // The live tracer actually observed the run.
+        let lines = live_trace.take_lines();
+        assert!(
+            lines.iter().any(|l| l.contains("\"net:send\"")),
+            "seed {seed}: live trace saw no sends"
+        );
+    }
+}
+
 /// Every spec in the starter scenario library parses, and its network
 /// config round-trips the declared phases.
 #[test]
