@@ -37,6 +37,16 @@ impl Payload for FloodMsg {
     }
 }
 
+impl ba_sim::WireMsg for FloodMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        ba_sim::wire::put_bool(out, self.0);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, ba_sim::WireError> {
+        Ok(FloodMsg(ba_sim::wire::take_bool(buf)?))
+    }
+}
+
 /// Per-processor state machine for flooding majority.
 #[derive(Debug)]
 pub struct FloodProcess {

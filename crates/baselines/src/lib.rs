@@ -37,7 +37,7 @@ mod flood;
 mod phase_king;
 mod rabin;
 
-pub use ben_or::{BenOrConfig, BenOrProcess};
+pub use ben_or::{BenOrConfig, BenOrProcess, BoMsg};
 pub use equivocate::CoordEquivocator;
 pub use flood::{FloodConfig, FloodMsg, FloodProcess};
 pub use phase_king::{PhaseKingConfig, PhaseKingProcess, PkMsg};

@@ -51,6 +51,31 @@ impl Payload for PkMsg {
     }
 }
 
+impl ba_sim::WireMsg for PkMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use ba_sim::wire::{put_bool, put_u8};
+        match self {
+            PkMsg::Vote(v) => {
+                put_u8(out, 0);
+                put_bool(out, *v);
+            }
+            PkMsg::King(v) => {
+                put_u8(out, 1);
+                put_bool(out, *v);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, ba_sim::WireError> {
+        use ba_sim::wire::{take_bool, take_u8};
+        match take_u8(buf)? {
+            0 => Ok(PkMsg::Vote(take_bool(buf)?)),
+            1 => Ok(PkMsg::King(take_bool(buf)?)),
+            t => Err(ba_sim::WireError::BadTag(t)),
+        }
+    }
+}
+
 /// Per-processor state machine for phase king.
 #[derive(Debug)]
 pub struct PhaseKingProcess {

@@ -64,6 +64,31 @@ impl Payload for RbMsg {
     }
 }
 
+impl ba_sim::WireMsg for RbMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use ba_sim::wire::{put_bool, put_u8};
+        match self {
+            RbMsg::Report(v) => {
+                put_u8(out, 0);
+                put_bool(out, *v);
+            }
+            RbMsg::Propose(p) => {
+                put_u8(out, 1);
+                p.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, ba_sim::WireError> {
+        use ba_sim::wire::{take_bool, take_u8, WireMsg};
+        match take_u8(buf)? {
+            0 => Ok(RbMsg::Report(take_bool(buf)?)),
+            1 => Ok(RbMsg::Propose(WireMsg::decode(buf)?)),
+            t => Err(ba_sim::WireError::BadTag(t)),
+        }
+    }
+}
+
 /// Per-processor state machine for Rabin's protocol.
 #[derive(Debug)]
 pub struct RabinProcess {

@@ -11,7 +11,11 @@ use ba_exp::{f3, mean, AdversarySpec, Experiment, RunSpec, TreeAttack};
 
 fn main() {
     let n = 512;
-    let trials = 5u64;
+    // Two seeds by default: five pushed this binary past two minutes of
+    // wall clock in the bench sweep (BENCH_3) for survival fractions
+    // that two seeds already estimate within a couple of points.
+    // `--trials N` restores a wider run.
+    let trials = 2u64;
     let mut e = Experiment::new(
         "E6",
         &format!("good-array survival per tournament level, n = {n} ({trials} seeds)"),

@@ -48,6 +48,37 @@ impl Payload for AeMsg {
     }
 }
 
+impl ba_sim::WireMsg for AeMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use ba_sim::wire::{put_u16, put_u64, put_u8};
+        match self {
+            AeMsg::Request { label } => {
+                put_u8(out, 0);
+                put_u16(out, *label);
+            }
+            AeMsg::Response { label, value } => {
+                put_u8(out, 1);
+                put_u16(out, *label);
+                put_u64(out, *value);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, ba_sim::WireError> {
+        use ba_sim::wire::{take_u16, take_u64, take_u8};
+        match take_u8(buf)? {
+            0 => Ok(AeMsg::Request {
+                label: take_u16(buf)?,
+            }),
+            1 => Ok(AeMsg::Response {
+                label: take_u16(buf)?,
+                value: take_u64(buf)?,
+            }),
+            t => Err(ba_sim::WireError::BadTag(t)),
+        }
+    }
+}
+
 /// Configuration for Algorithm 3.
 #[derive(Clone, Debug)]
 pub struct AeToEConfig {

@@ -168,6 +168,16 @@ impl Payload for VoteMsg {
     }
 }
 
+impl ba_sim::WireMsg for VoteMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        ba_sim::wire::put_bool(out, self.0);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, ba_sim::WireError> {
+        Ok(VoteMsg(ba_sim::wire::take_bool(buf)?))
+    }
+}
+
 /// Per-processor state machine for Algorithm 5 over the `ba-sim` engine.
 ///
 /// Round structure: in round `r` the processor first digests the votes

@@ -76,6 +76,31 @@ impl Payload for StackMsg {
     }
 }
 
+impl ba_sim::WireMsg for StackMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use ba_sim::wire::put_u8;
+        match self {
+            StackMsg::Tour(m) => {
+                put_u8(out, 0);
+                m.encode(out);
+            }
+            StackMsg::Ae(m) => {
+                put_u8(out, 1);
+                m.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, ba_sim::WireError> {
+        use ba_sim::wire::take_u8;
+        match take_u8(buf)? {
+            0 => Ok(StackMsg::Tour(ba_sim::WireMsg::decode(buf)?)),
+            1 => Ok(StackMsg::Ae(ba_sim::WireMsg::decode(buf)?)),
+            t => Err(ba_sim::WireError::BadTag(t)),
+        }
+    }
+}
+
 /// Projects a `Transport<StackMsg>` down to the tournament's message
 /// type for phase 1.
 struct TourLens<'a, Tr: ?Sized>(&'a mut Tr);

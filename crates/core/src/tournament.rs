@@ -102,6 +102,62 @@ impl Payload for TourMsg {
     }
 }
 
+impl ba_sim::WireMsg for TourMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use ba_sim::wire::{put_u16, put_u32, put_u8};
+        match self {
+            TourMsg::Expose {
+                level,
+                node,
+                cand,
+                bin,
+            } => {
+                put_u8(out, 0);
+                put_u32(out, *level);
+                put_u32(out, *node);
+                put_u32(out, *cand);
+                put_u16(out, *bin);
+            }
+            TourMsg::WinnerShare {
+                level,
+                node,
+                array,
+                words,
+            } => {
+                put_u8(out, 1);
+                put_u32(out, *level);
+                put_u32(out, *node);
+                put_u32(out, *array);
+                put_u32(out, *words);
+            }
+            TourMsg::RootCoin { j } => {
+                put_u8(out, 2);
+                put_u32(out, *j);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, ba_sim::WireError> {
+        use ba_sim::wire::{take_u16, take_u32, take_u8};
+        match take_u8(buf)? {
+            0 => Ok(TourMsg::Expose {
+                level: take_u32(buf)?,
+                node: take_u32(buf)?,
+                cand: take_u32(buf)?,
+                bin: take_u16(buf)?,
+            }),
+            1 => Ok(TourMsg::WinnerShare {
+                level: take_u32(buf)?,
+                node: take_u32(buf)?,
+                array: take_u32(buf)?,
+                words: take_u32(buf)?,
+            }),
+            2 => Ok(TourMsg::RootCoin { j: take_u32(buf)? }),
+            t => Err(ba_sim::WireError::BadTag(t)),
+        }
+    }
+}
+
 /// Configuration for one tournament execution.
 #[derive(Clone, Debug)]
 pub struct TournamentConfig {

@@ -18,11 +18,79 @@ use ba_core::tournament::{self, LevelStats, TourMsg, TournamentConfig};
 use ba_net::{NetConfig, NetStats, NetTransport};
 use ba_obs::Trace;
 use ba_sim::{
-    Adversary, BitStats, NullAdversary, ProcId, Process, RunOutcome, SimBuilder, StaticAdversary,
+    Adversary, BitStats, NullAdversary, Payload, ProcId, Process, RunOutcome, SimBuilder,
+    StaticAdversary, Transport, WireMsg,
 };
 use ba_topology::Params;
 use rand::SeedableRng;
 use std::sync::Arc;
+
+/// A transport usable for one harness trial: the engine-facing
+/// [`Transport`] seam plus the post-run accounting the runner extracts
+/// from every carrier (phase boundaries and network statistics).
+///
+/// [`NetTransport`] is the in-process implementation; `ba-serve`'s
+/// `SocketTransport` carries the same trials over real TCP sockets.
+pub trait SessionTransport<M: Payload>: Transport<M> {
+    /// Phase timetable as `(name, start_round)` pairs — the configured
+    /// schedule when present, otherwise marks derived from
+    /// [`Transport::mark_phase`] announcements.
+    fn phase_marks(&self) -> Vec<(String, usize)>;
+
+    /// Consumes the transport, returning its network statistics.
+    fn finish(self) -> NetStats
+    where
+        Self: Sized;
+}
+
+impl<M: Payload> SessionTransport<M> for NetTransport<M> {
+    fn phase_marks(&self) -> Vec<(String, usize)> {
+        NetTransport::phase_marks(self)
+    }
+
+    fn finish(self) -> NetStats {
+        self.into_stats()
+    }
+}
+
+/// Per-trial transport construction, generic over the protocol's message
+/// type. The factory is the runner's one seam for swapping the carrier
+/// under otherwise-identical trials: [`NetFactory`] builds the simulated
+/// `ba-net` network, `ba-serve` builds socket-backed transports.
+///
+/// Messages must be [`WireMsg`] so a factory is free to put them on a
+/// real wire; for in-process carriers the codec is simply unused.
+pub trait TransportFactory {
+    /// The transport type produced for message type `M`.
+    type Transport<M: WireMsg + 'static>: SessionTransport<M>;
+
+    /// Builds the transport for one trial.
+    fn make<M: WireMsg + 'static>(
+        &mut self,
+        n: usize,
+        cfg: NetConfig,
+        trace: &Trace,
+    ) -> Result<Self::Transport<M>, String>;
+}
+
+/// The default factory: one simulated [`NetTransport`] per trial,
+/// tracing into the trial's `Trace` — the behaviour every in-process
+/// entry point ([`run`], [`run_trial`], …) has always had.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetFactory;
+
+impl TransportFactory for NetFactory {
+    type Transport<M: WireMsg + 'static> = NetTransport<M>;
+
+    fn make<M: WireMsg + 'static>(
+        &mut self,
+        n: usize,
+        cfg: NetConfig,
+        trace: &Trace,
+    ) -> Result<NetTransport<M>, String> {
+        Ok(NetTransport::new(n, cfg).with_trace(trace.clone()))
+    }
+}
 
 /// Uniform per-trial metrics, with protocol-specific drill-down where it
 /// exists.
@@ -244,7 +312,7 @@ fn trace_talkers(trace: &Trace, round: usize, per_proc: impl Iterator<Item = u64
 /// Algorithm 3 was spreading); pass `|_| false` where the notion does
 /// not exist.
 #[allow(clippy::too_many_arguments)] // one spec-shaped bundle per knob; a struct would just rename them
-fn engine_case<P, F, A>(
+fn engine_case<P, F, A, TF>(
     spec: &RunSpec,
     seed: u64,
     cfg: NetConfig,
@@ -254,14 +322,17 @@ fn engine_case<P, F, A>(
     adversary: A,
     wrong_pred: impl Fn(&P::Output) -> bool,
     trace: &Trace,
-) -> TrialOutcome
+    factory: &mut TF,
+) -> Result<TrialOutcome, String>
 where
     P: Process,
+    P::Msg: WireMsg + 'static,
     P::Output: PartialEq,
     F: FnMut(ProcId, usize) -> P,
     A: Adversary<P>,
+    TF: TransportFactory,
 {
-    let transport = NetTransport::new(spec.n, cfg).with_trace(trace.clone());
+    let transport = factory.make::<P::Msg>(spec.n, cfg, trace)?;
     let mut builder = SimBuilder::new(spec.n).seed(seed).trace(trace.clone());
     if let Some(budget) = spec.adversary.engine_budget() {
         builder = builder.max_corruptions(budget);
@@ -277,13 +348,13 @@ where
         .filter(|&i| outcome.outputs[i].as_ref().is_some_and(&wrong_pred))
         .count();
     let phase_bits = outcome.metrics.phase_bits(&transport.phase_marks());
-    let net = transport.into_stats(); // flushes the transport's last send event
+    let net = transport.finish(); // flushes the transport's last send event
     trace_talkers(
         trace,
         outcome.rounds,
         (0..spec.n).map(|i| outcome.metrics.bits_sent_by(ProcId::new(i))),
     );
-    TrialOutcome {
+    Ok(TrialOutcome {
         agreement,
         decided,
         wrong,
@@ -294,7 +365,7 @@ where
         corrupt: outcome.corrupt,
         phase_bits,
         ..TrialOutcome::base(seed)
-    }
+    })
 }
 
 fn unsupported(spec: &RunSpec, what: &str) -> String {
@@ -313,6 +384,19 @@ pub fn run_trial(spec: &RunSpec, trial: u64) -> Result<TrialOutcome, String> {
 /// header, the engine/transport event stream, per-phase `trial:phase`
 /// attribution lines, top-talker events, and a `trial:end` summary.
 pub fn run_trial_traced(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<TrialOutcome, String> {
+    run_trial_with_factory(spec, trial, trace, &mut NetFactory)
+}
+
+/// [`run_trial_traced`] with the trial's transport built by `factory`
+/// instead of the in-process [`NetFactory`] — the entry point `ba-serve`
+/// uses to run the same specs, seeds, adversaries, and metric extraction
+/// over real sockets.
+pub fn run_trial_with_factory<TF: TransportFactory>(
+    spec: &RunSpec,
+    trial: u64,
+    trace: &Trace,
+    factory: &mut TF,
+) -> Result<TrialOutcome, String> {
     if trace.is_on() {
         trace.event(
             "trial:start",
@@ -329,7 +413,7 @@ pub fn run_trial_traced(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<Tri
     let out = {
         // Whole-trial wall clock, charged to the quarantined profile.
         let _t = trace.timer("harness:trial");
-        dispatch(spec, trial, trace)?
+        dispatch(spec, trial, trace, factory)?
     };
     if trace.is_on() {
         let round = out.rounds as u64;
@@ -361,7 +445,12 @@ pub fn run_trial_traced(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<Tri
 }
 
 /// Trial dispatch over the spec's protocol surface.
-fn dispatch(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<TrialOutcome, String> {
+fn dispatch<TF: TransportFactory>(
+    spec: &RunSpec,
+    trial: u64,
+    trace: &Trace,
+    factory: &mut TF,
+) -> Result<TrialOutcome, String> {
     let n = spec.n;
     if n == 0 {
         return Err("n must be positive".to_owned());
@@ -374,7 +463,7 @@ fn dispatch(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<TrialOutcome, S
         Protocol::Flood => {
             let pc = FloodConfig::for_n(n);
             let adv = generic_static(spec)?;
-            Ok(engine_case(
+            engine_case(
                 spec,
                 seed,
                 cfg,
@@ -384,14 +473,15 @@ fn dispatch(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<TrialOutcome, S
                 adv,
                 |_| false,
                 trace,
-            ))
+                factory,
+            )
         }
         Protocol::PhaseKing => {
             let pc = PhaseKingConfig::for_n(n);
             let cap = cap.unwrap_or(pc.total_rounds() + 2);
             let make = move |p: ProcId, _: usize| PhaseKingProcess::new(pc, input.bit(p.index()));
             if let MessageAdversary::Equivocate { count } = spec.adversary.message {
-                return Ok(engine_case(
+                return engine_case(
                     spec,
                     seed,
                     cfg,
@@ -401,10 +491,11 @@ fn dispatch(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<TrialOutcome, S
                     CoordEquivocator::new(count),
                     |_| false,
                     trace,
-                ));
+                    factory,
+                );
             }
             let adv = generic_static(spec)?;
-            Ok(engine_case(
+            engine_case(
                 spec,
                 seed,
                 cfg,
@@ -414,12 +505,13 @@ fn dispatch(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<TrialOutcome, S
                 adv,
                 |_| false,
                 trace,
-            ))
+                factory,
+            )
         }
         Protocol::BenOr => {
             let pc = BenOrConfig::for_n(n);
             let adv = generic_static(spec)?;
-            Ok(engine_case(
+            engine_case(
                 spec,
                 seed,
                 cfg,
@@ -429,7 +521,8 @@ fn dispatch(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<TrialOutcome, S
                 adv,
                 |_| false,
                 trace,
-            ))
+                factory,
+            )
         }
         Protocol::Rabin => {
             let mut pc = RabinConfig::for_n(n);
@@ -437,7 +530,7 @@ fn dispatch(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<TrialOutcome, S
             let cap = cap.unwrap_or(pc.total_rounds() + 2);
             let make = move |p: ProcId, _: usize| RabinProcess::new(pc, input.bit(p.index()));
             if let MessageAdversary::Equivocate { count } = spec.adversary.message {
-                return Ok(engine_case(
+                return engine_case(
                     spec,
                     seed,
                     cfg,
@@ -447,10 +540,11 @@ fn dispatch(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<TrialOutcome, S
                     CoordEquivocator::new(count),
                     |_| false,
                     trace,
-                ));
+                    factory,
+                );
             }
             let adv = generic_static(spec)?;
-            Ok(engine_case(
+            engine_case(
                 spec,
                 seed,
                 cfg,
@@ -460,12 +554,13 @@ fn dispatch(spec: &RunSpec, trial: u64, trace: &Trace) -> Result<TrialOutcome, S
                 adv,
                 |_| false,
                 trace,
-            ))
+                factory,
+            )
         }
-        Protocol::Aeba(aeba) => aeba_trial(spec, aeba, seed, cfg, trace),
-        Protocol::AeToE(ae) => ae_to_e_trial(spec, ae, seed, cfg, trace),
-        Protocol::Tournament(tuning) => tournament_trial(spec, tuning, seed, cfg, trace),
-        Protocol::Everywhere => everywhere_trial(spec, seed, cfg, trace),
+        Protocol::Aeba(aeba) => aeba_trial(spec, aeba, seed, cfg, trace, factory),
+        Protocol::AeToE(ae) => ae_to_e_trial(spec, ae, seed, cfg, trace, factory),
+        Protocol::Tournament(tuning) => tournament_trial(spec, tuning, seed, cfg, trace, factory),
+        Protocol::Everywhere => everywhere_trial(spec, seed, cfg, trace, factory),
     }
 }
 
@@ -478,12 +573,13 @@ fn generic_static(spec: &RunSpec) -> Result<StaticAdversary, String> {
     }
 }
 
-fn aeba_trial(
+fn aeba_trial<TF: TransportFactory>(
     spec: &RunSpec,
     aeba: &AebaSpec,
     seed: u64,
     cfg: NetConfig,
     trace: &Trace,
+    factory: &mut TF,
 ) -> Result<TrialOutcome, String> {
     let n = spec.n;
     let rounds = aeba.rounds;
@@ -516,7 +612,7 @@ fn aeba_trial(
         )
     };
     match spec.adversary.message {
-        MessageAdversary::SplitVotes { count } => Ok(engine_case(
+        MessageAdversary::SplitVotes { count } => engine_case(
             spec,
             seed,
             cfg,
@@ -526,10 +622,11 @@ fn aeba_trial(
             SplitVoter { count },
             |_| false,
             trace,
-        )),
+            factory,
+        ),
         MessageAdversary::None | MessageAdversary::Crash { .. } => {
             let adv = generic_static(spec)?;
-            Ok(engine_case(
+            engine_case(
                 spec,
                 seed,
                 cfg,
@@ -539,18 +636,20 @@ fn aeba_trial(
                 adv,
                 |_| false,
                 trace,
-            ))
+                factory,
+            )
         }
         other => Err(unsupported(spec, &format!("message adversary {other:?}"))),
     }
 }
 
-fn ae_to_e_trial(
+fn ae_to_e_trial<TF: TransportFactory>(
     spec: &RunSpec,
     ae: &AeToESpec,
     seed: u64,
     cfg: NetConfig,
     trace: &Trace,
+    factory: &mut TF,
 ) -> Result<TrialOutcome, String> {
     let n = spec.n;
     let pc = AeToEConfig::for_n(n, ae.eps);
@@ -573,10 +672,21 @@ fn ae_to_e_trial(
         }
     };
     let wrong = move |v: &u64| *v != message;
-    let out = match spec.adversary.message {
+    match spec.adversary.message {
         MessageAdversary::None | MessageAdversary::Crash { .. } => {
             let adv = generic_static(spec)?;
-            engine_case(spec, seed, cfg, cap, ae.flood_cap, make, adv, wrong, trace)
+            engine_case(
+                spec,
+                seed,
+                cfg,
+                cap,
+                ae.flood_cap,
+                make,
+                adv,
+                wrong,
+                trace,
+                factory,
+            )
         }
         MessageAdversary::Forge { count, fake } => engine_case(
             spec,
@@ -588,6 +698,7 @@ fn ae_to_e_trial(
             ResponseForger { count, fake },
             wrong,
             trace,
+            factory,
         ),
         MessageAdversary::Overload { count, copies } => engine_case(
             spec,
@@ -603,6 +714,7 @@ fn ae_to_e_trial(
             },
             wrong,
             trace,
+            factory,
         ),
         MessageAdversary::GuessLabels { count, copies } => engine_case(
             spec,
@@ -618,10 +730,10 @@ fn ae_to_e_trial(
             },
             wrong,
             trace,
+            factory,
         ),
-        other => return Err(unsupported(spec, &format!("message adversary {other:?}"))),
-    };
-    Ok(out)
+        other => Err(unsupported(spec, &format!("message adversary {other:?}"))),
+    }
 }
 
 /// Applies tuning overrides onto practical parameters.
@@ -639,12 +751,13 @@ fn tuned_params(n: usize, tuning: &TournamentTuning) -> Params {
     p
 }
 
-fn tournament_trial(
+fn tournament_trial<TF: TransportFactory>(
     spec: &RunSpec,
     tuning: &TournamentTuning,
     seed: u64,
     cfg: NetConfig,
     trace: &Trace,
+    factory: &mut TF,
 ) -> Result<TrialOutcome, String> {
     if spec.adversary.message != MessageAdversary::None {
         return Err(unsupported(
@@ -663,7 +776,7 @@ fn tournament_trial(
     config.params = tuned_params(n, tuning);
     let inputs: Vec<bool> = (0..n).map(|i| spec.input.bit(i)).collect();
     let mut adv = spec.adversary.tree.instantiate();
-    let mut transport: NetTransport<TourMsg> = NetTransport::new(n, cfg).with_trace(trace.clone());
+    let mut transport = factory.make::<TourMsg>(n, cfg, trace)?;
     let out = tournament::run_with_transport(&config, &inputs, &mut adv, &mut transport);
     let good = out.corrupt.iter().filter(|&&c| !c).count().max(1);
     let decided_count = out.decisions.iter().flatten().count();
@@ -682,17 +795,18 @@ fn tournament_trial(
         coins: Some(CoinSequence::new(out.coin_words)),
         level_stats: out.level_stats,
         corrupt: out.corrupt,
-        net: Some(transport.into_stats()),
+        net: Some(transport.finish()),
         phase_bits: out.phase_bits,
         ..TrialOutcome::base(seed)
     })
 }
 
-fn everywhere_trial(
+fn everywhere_trial<TF: TransportFactory>(
     spec: &RunSpec,
     seed: u64,
     cfg: NetConfig,
     trace: &Trace,
+    factory: &mut TF,
 ) -> Result<TrialOutcome, String> {
     if spec.output.rounds_cap.is_some() {
         return Err(unsupported(
@@ -705,7 +819,7 @@ fn everywhere_trial(
     let labels = config.ae.labels;
     let inputs: Vec<bool> = (0..n).map(|i| spec.input.bit(i)).collect();
     let mut adv = spec.adversary.tree.instantiate();
-    let transport: NetTransport<StackMsg> = NetTransport::new(n, cfg).with_trace(trace.clone());
+    let transport = factory.make::<StackMsg>(n, cfg, trace)?;
     let (out, transport) = match spec.adversary.message {
         MessageAdversary::None => {
             everywhere::run_with_transport(&config, &inputs, &mut adv, NullAdversary, transport)
@@ -776,7 +890,7 @@ fn everywhere_trial(
         coins: Some(CoinSequence::from_tournament(&out.tournament)),
         level_stats: out.tournament.level_stats.clone(),
         corrupt: out.corrupt,
-        net: Some(transport.into_stats()),
+        net: Some(transport.finish()),
         phase_bits: out.phase_bits,
         ..TrialOutcome::base(seed)
     })

@@ -64,6 +64,19 @@ impl NetConfig {
         }
     }
 
+    /// Whether this config is semantically the paper's synchronous
+    /// network: zero constant latency, a trivial fault plan, and FIFO
+    /// same-instant ordering. Such a config consumes no transport
+    /// randomness, so *any* faithful synchronous carrier (the lockstep
+    /// engine, [`NetTransport`], a socket transport) produces the same
+    /// outcome for the same seed. The seed, delta, and stats schedule do
+    /// not affect delivery and are ignored.
+    pub fn is_synchronous(&self) -> bool {
+        self.latency == LatencyModel::Constant(0)
+            && self.faults.is_trivial()
+            && self.ordering == DeliveryPolicy::Fifo
+    }
+
     /// Sets the latency model.
     pub fn with_latency(mut self, latency: LatencyModel) -> Self {
         self.latency = latency;

@@ -23,6 +23,10 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod pool;
+
+pub use pool::{Full, Pool};
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, OnceLock};

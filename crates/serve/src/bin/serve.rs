@@ -1,0 +1,89 @@
+//! The ba-serve daemon: binds a TCP address and serves agreement
+//! sessions until a shutdown frame arrives.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--port-file PATH] [--workers N] [--queue N]
+//!       [--retry-after-ms MS] [--trace PATH]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` (the default) binds an ephemeral port; the
+//! resolved address is printed on stdout and, with `--port-file`,
+//! written to a file scripts can poll.
+
+use ba_obs::Trace;
+use ba_serve::{Server, ServerOpts};
+use std::path::Path;
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut port_file: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut opts = ServerOpts::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--trace" => trace_path = Some(value("--trace")),
+            "--workers" => opts.workers = parse_num(&value("--workers"), "--workers"),
+            "--queue" => opts.queue = parse_num(&value("--queue"), "--queue"),
+            "--retry-after-ms" => {
+                opts.retry_after_ms = parse_num(&value("--retry-after-ms"), "--retry-after-ms")
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}` (accepted: --addr HOST:PORT, --port-file PATH, \
+                     --workers N, --queue N, --retry-after-ms MS, --trace PATH)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    opts.trace = match &trace_path {
+        Some(p) => Trace::to_file(Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("error: opening trace file {p}: {e}");
+            std::process::exit(1);
+        }),
+        None => Trace::off(),
+    };
+
+    let server = Server::bind(&addr, opts).unwrap_or_else(|e| {
+        eprintln!("error: binding {addr}: {e}");
+        std::process::exit(1);
+    });
+    let local = server.local_addr().expect("bound listener has an address");
+    println!("ba-serve listening on {local}");
+    if let Some(pf) = &port_file {
+        // Write to a temp name then rename so pollers never read a
+        // half-written address.
+        let tmp = format!("{pf}.tmp");
+        std::fs::write(&tmp, format!("{local}\n"))
+            .and_then(|()| std::fs::rename(&tmp, pf))
+            .unwrap_or_else(|e| {
+                eprintln!("error: writing port file {pf}: {e}");
+                std::process::exit(1);
+            });
+    }
+
+    let summary = server.run();
+    println!(
+        "ba-serve drained: {} connections, {} sessions ok, {} failed, {} rejected busy",
+        summary.connections, summary.sessions_ok, summary.sessions_failed, summary.rejected_busy
+    );
+    if summary.sessions_failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, name: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{name}: `{s}` is not a valid number");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,181 @@
+//! The client side of a served session: a *dumb synchronous switch*.
+//!
+//! The daemon hosts the executor; the client holds no protocol logic at
+//! all. It buffers every [`Frame::Send`] the server emits (payloads stay
+//! opaque bytes) and, on [`Frame::Collect`]`{round}`, returns each
+//! buffered envelope whose sending round precedes `round` — in the exact
+//! order the server sent them — then closes the round with
+//! [`Frame::RoundDone`]. TCP's ordering plus the engine's lockstep round
+//! structure make this equivalent to the in-process synchronous
+//! `NetTransport`, which is what pins served outcomes byte-identical to
+//! in-process runs per seed.
+
+use crate::frame::{Frame, FrameError, FrameReader, FrameWriter, OutcomeWire};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Errors from driving one session.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The daemon is at capacity; retry after the suggested backoff.
+    Busy {
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The daemon reported a session failure.
+    Remote(String),
+    /// The wire protocol broke down.
+    Frame(FrameError),
+    /// Connecting failed.
+    Io(std::io::Error),
+    /// The daemon sent a frame the switch cannot accept here.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy (retry after {retry_after_ms} ms)")
+            }
+            ClientError::Remote(m) => write!(f, "server error: {m}"),
+            ClientError::Frame(e) => write!(f, "wire error: {e}"),
+            ClientError::Io(e) => write!(f, "connect error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One completed session, as observed from the client.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// The server's reported outcome.
+    pub outcome: OutcomeWire,
+    /// Bytes the client wrote (Open, Deliver, RoundDone frames).
+    pub bytes_out: u64,
+    /// Bytes the client read (Send, Collect, Outcome frames).
+    pub bytes_in: u64,
+    /// Frames the client wrote.
+    pub frames_out: u64,
+    /// Frames the client read.
+    pub frames_in: u64,
+    /// Sum of the model-bit annotations on every envelope the server
+    /// sent — the client-side view of the run's total sent bits.
+    pub payload_bits: u64,
+    /// Wall-clock session latency, connect to outcome.
+    pub wall: Duration,
+}
+
+/// Opens one session against `addr`: trial `trial` of `spec_text`
+/// (scenario key=value grammar). Blocks until the outcome or a terminal
+/// error; [`ClientError::Busy`] is the retryable case.
+pub fn run_session(addr: &str, spec_text: &str, trial: u64) -> Result<SessionOutcome, ClientError> {
+    let started = Instant::now();
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = FrameReader::new(BufReader::new(stream.try_clone()?));
+    let mut writer = FrameWriter::new(BufWriter::new(stream));
+    writer.write_frame(&Frame::Open {
+        trial,
+        spec: spec_text.to_owned(),
+    })?;
+    writer.flush()?;
+
+    // The switch state: envelopes sent but not yet collected, in
+    // arrival (= send) order.
+    let mut pending: Vec<(u32, u32, u32, u64, Vec<u8>)> = Vec::new();
+    let mut payload_bits = 0u64;
+    loop {
+        match reader.read_frame()? {
+            Frame::Send {
+                round,
+                from,
+                to,
+                bits,
+                payload,
+            } => {
+                payload_bits += bits;
+                pending.push((round, from, to, bits, payload));
+            }
+            Frame::Collect { round } => {
+                let (due, keep): (Vec<_>, Vec<_>) = pending.drain(..).partition(|e| e.0 < round);
+                pending = keep;
+                for (sent_round, from, to, bits, payload) in due {
+                    writer.write_frame(&Frame::Deliver {
+                        round: sent_round,
+                        from,
+                        to,
+                        bits,
+                        payload,
+                    })?;
+                }
+                writer.write_frame(&Frame::RoundDone { round })?;
+                writer.flush()?;
+            }
+            Frame::Outcome(outcome) => {
+                return Ok(SessionOutcome {
+                    outcome,
+                    bytes_out: writer.bytes,
+                    bytes_in: reader.bytes,
+                    frames_out: writer.frames,
+                    frames_in: reader.frames,
+                    payload_bits,
+                    wall: started.elapsed(),
+                });
+            }
+            Frame::Busy { retry_after_ms } => {
+                return Err(ClientError::Busy { retry_after_ms });
+            }
+            Frame::Error { message } => return Err(ClientError::Remote(message)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected frame from server: {other:?}"
+                )));
+            }
+        }
+    }
+}
+
+/// [`run_session`] with retry-on-[`Busy`](ClientError::Busy): sleeps the
+/// server-suggested backoff between attempts, up to `max_retries`
+/// retries.
+pub fn run_session_retrying(
+    addr: &str,
+    spec_text: &str,
+    trial: u64,
+    max_retries: u32,
+) -> Result<SessionOutcome, ClientError> {
+    let mut attempt = 0;
+    loop {
+        match run_session(addr, spec_text, trial) {
+            Err(ClientError::Busy { retry_after_ms }) if attempt < max_retries => {
+                attempt += 1;
+                std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Asks the daemon at `addr` to drain and exit.
+pub fn shutdown(addr: &str) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = FrameWriter::new(&stream);
+    writer.write_frame(&Frame::Shutdown)?;
+    writer.flush()
+}

@@ -1,0 +1,310 @@
+//! [`SocketTransport`]: the harness [`Transport`] seam carried over a
+//! real TCP stream, and the [`TransportFactory`] that builds it.
+//!
+//! The daemon hosts the executor; the client side is a *dumb synchronous
+//! switch* (see `client`): it buffers every [`Frame::Send`] it receives
+//! and, on [`Frame::Collect`]`{round}`, returns each buffered envelope
+//! whose sending round precedes `round`, in the order sent. Because TCP
+//! preserves order and the engine drives rounds in lockstep, this
+//! reproduces the in-process `NetTransport` delivery semantics for
+//! synchronous configurations *exactly* — same envelopes, same order,
+//! same rounds — so a served trial's outcome is identical, per seed, to
+//! the in-process run of the same spec.
+//!
+//! That guarantee is why [`SocketFactory::make`] rejects any
+//! [`NetConfig`] that is not [`NetConfig::is_synchronous`]: latency,
+//! drops, partitions, and adversarial reordering consume transport
+//! randomness and scheduling decisions that live server-side in the
+//! simulated carrier; faithfully distributing them is out of scope for
+//! the service.
+//!
+//! I/O errors inside a session panic rather than return: the engine's
+//! [`Transport`] seam has no error channel, and the server contains
+//! per-session panics (crash isolation) and reports them to the client
+//! as [`Frame::Error`].
+
+use crate::frame::{Frame, FrameReader, FrameWriter};
+use ba_exp::{SessionTransport, TransportFactory};
+use ba_net::{NetConfig, NetStats, PhaseNetStats};
+use ba_obs::Trace;
+use ba_sim::{Envelope, ProcId, Transport, WireMsg};
+use std::io::{BufReader, BufWriter};
+use std::marker::PhantomData;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Socket byte/frame totals for one session, shared between the
+/// transport (which owns the stream while the trial runs) and the
+/// session driver (which reports them after the trial ends).
+#[derive(Debug, Default)]
+pub struct WireCounters {
+    /// Bytes read off the socket (data frames).
+    pub bytes_in: AtomicU64,
+    /// Bytes written to the socket (data frames).
+    pub bytes_out: AtomicU64,
+    /// Frames read off the socket.
+    pub frames_in: AtomicU64,
+    /// Frames written to the socket.
+    pub frames_out: AtomicU64,
+}
+
+impl WireCounters {
+    /// Total bytes in both directions.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed) + self.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Total frames in both directions.
+    pub fn frames(&self) -> u64 {
+        self.frames_in.load(Ordering::Relaxed) + self.frames_out.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`Transport`] that carries envelopes over a TCP stream to a
+/// buffering peer, restricted to synchronous configurations (see the
+/// module docs for why the restriction makes outcomes carrier-exact).
+pub struct SocketTransport<M> {
+    reader: FrameReader<BufReader<TcpStream>>,
+    writer: FrameWriter<BufWriter<TcpStream>>,
+    cfg: NetConfig,
+    stats: NetStats,
+    /// Start rounds of mark-derived phases (parallel to
+    /// `stats.per_phase` when no schedule is configured).
+    marks: Vec<usize>,
+    trace: Trace,
+    counters: Arc<WireCounters>,
+    _msg: PhantomData<fn() -> M>,
+}
+
+impl<M: WireMsg> SocketTransport<M> {
+    /// Wraps `stream`. Fails if `cfg` is not synchronous.
+    pub fn new(
+        stream: TcpStream,
+        cfg: NetConfig,
+        trace: Trace,
+        counters: Arc<WireCounters>,
+    ) -> Result<Self, String> {
+        if !cfg.is_synchronous() {
+            return Err(
+                "ba-serve sessions require a synchronous NetConfig (zero latency, \
+                 no faults, FIFO delivery); perturbed configs run in-process only"
+                    .to_owned(),
+            );
+        }
+        let reader = stream
+            .try_clone()
+            .map_err(|e| format!("cloning session stream: {e}"))?;
+        // Mirror NetTransport::new: a configured schedule pre-builds the
+        // per-phase buckets plus the trailing catch-all.
+        let mut stats = NetStats::default();
+        if let Some(schedule) = &cfg.schedule {
+            stats.per_phase = schedule
+                .iter()
+                .map(|p| PhaseNetStats {
+                    name: p.name.clone(),
+                    ..PhaseNetStats::default()
+                })
+                .collect();
+            stats.per_phase.push(PhaseNetStats {
+                name: "(past-schedule)".to_owned(),
+                ..PhaseNetStats::default()
+            });
+        }
+        Ok(SocketTransport {
+            reader: FrameReader::new(BufReader::new(reader)),
+            writer: FrameWriter::new(BufWriter::new(stream)),
+            cfg,
+            stats,
+            marks: Vec::new(),
+            trace,
+            counters,
+            _msg: PhantomData,
+        })
+    }
+
+    /// Phase timetable as `(name, start_round)` pairs — the configured
+    /// schedule when present, otherwise the mark-derived timetable.
+    /// Mirrors `NetTransport::phase_marks`.
+    pub fn phase_marks(&self) -> Vec<(String, usize)> {
+        if let Some(schedule) = &self.cfg.schedule {
+            let mut start = 0usize;
+            let mut out = Vec::new();
+            for p in schedule.iter() {
+                out.push((p.name.clone(), start));
+                start += p.len;
+            }
+            out.push(("(past-schedule)".to_owned(), start));
+            out
+        } else {
+            self.marks
+                .iter()
+                .zip(&self.stats.per_phase)
+                .map(|(&start, p)| (p.name.clone(), start))
+                .collect()
+        }
+    }
+
+    /// The phase-stats bucket for a sending round; mirrors
+    /// `NetTransport::phase_bucket`.
+    fn phase_bucket(&mut self, sent_round: usize) -> Option<&mut PhaseNetStats> {
+        if self.stats.per_phase.is_empty() {
+            return None;
+        }
+        let idx = if self.cfg.schedule.is_some() {
+            let last = self.stats.per_phase.len() - 1;
+            self.cfg
+                .schedule
+                .as_ref()
+                .and_then(|s| s.locate(sent_round))
+                .map_or(last, |(phase, _)| phase)
+        } else {
+            let k = self.marks.partition_point(|&start| start <= sent_round);
+            k.checked_sub(1)?
+        };
+        self.stats.per_phase.get_mut(idx)
+    }
+}
+
+impl<M: WireMsg> Transport<M> for SocketTransport<M> {
+    fn send(&mut self, round: usize, env: Envelope<M>) {
+        self.stats.sent += 1;
+        let bits = env.bit_len();
+        if let Some(b) = self.phase_bucket(round) {
+            b.sent += 1;
+            b.sent_bits += bits;
+        }
+        let frame = Frame::Send {
+            round: round as u32,
+            from: env.from.index() as u32,
+            to: env.to.index() as u32,
+            bits,
+            payload: env.payload.to_wire(),
+        };
+        self.writer
+            .write_frame(&frame)
+            .unwrap_or_else(|e| panic!("serve session send failed: {e}"));
+    }
+
+    fn collect(&mut self, round: usize, deliver: &mut dyn FnMut(Envelope<M>)) {
+        self.writer
+            .write_frame(&Frame::Collect {
+                round: round as u32,
+            })
+            .and_then(|()| self.writer.flush())
+            .unwrap_or_else(|e| panic!("serve session collect failed: {e}"));
+        loop {
+            let frame = self
+                .reader
+                .read_frame()
+                .unwrap_or_else(|e| panic!("serve session read failed: {e}"));
+            match frame {
+                Frame::Deliver {
+                    round: sent_round,
+                    from,
+                    to,
+                    bits: _,
+                    payload,
+                } => {
+                    let msg = M::from_wire(&payload)
+                        .unwrap_or_else(|e| panic!("serve session payload malformed: {e}"));
+                    self.stats.delivered += 1;
+                    if let Some(b) = self.phase_bucket(sent_round as usize) {
+                        b.delivered += 1;
+                    }
+                    deliver(Envelope::new(
+                        ProcId::new(from as usize),
+                        ProcId::new(to as usize),
+                        msg,
+                    ));
+                }
+                Frame::RoundDone { round: done } => {
+                    assert_eq!(
+                        done, round as u32,
+                        "switch answered collect({round}) with round-done({done})"
+                    );
+                    break;
+                }
+                other => panic!("unexpected frame during collect: {other:?}"),
+            }
+        }
+    }
+
+    fn mark_phase(&mut self, round: usize, name: &str) {
+        // Mirrors NetTransport::mark_phase: a configured schedule wins,
+        // repeated announcements coalesce.
+        if self.cfg.schedule.is_some() {
+            return;
+        }
+        if self
+            .marks
+            .len()
+            .checked_sub(1)
+            .is_some_and(|i| self.stats.per_phase[i].name == name)
+        {
+            return;
+        }
+        self.trace.event("net:phase", round as u64, name, &[]);
+        self.marks.push(round);
+        self.stats.per_phase.push(PhaseNetStats {
+            name: name.to_owned(),
+            ..PhaseNetStats::default()
+        });
+    }
+}
+
+impl<M: WireMsg> SessionTransport<M> for SocketTransport<M> {
+    fn phase_marks(&self) -> Vec<(String, usize)> {
+        SocketTransport::phase_marks(self)
+    }
+
+    fn finish(mut self) -> NetStats {
+        let _ = self.writer.flush();
+        self.stats.in_flight_at_end = self.stats.sent - self.stats.delivered;
+        let c = &self.counters;
+        c.bytes_in.store(self.reader.bytes, Ordering::Relaxed);
+        c.bytes_out.store(self.writer.bytes, Ordering::Relaxed);
+        c.frames_in.store(self.reader.frames, Ordering::Relaxed);
+        c.frames_out.store(self.writer.frames, Ordering::Relaxed);
+        self.stats
+    }
+}
+
+/// A [`TransportFactory`] wrapping one accepted session stream. Each
+/// factory serves exactly one trial: `make` consumes the stream.
+pub struct SocketFactory {
+    stream: Option<TcpStream>,
+    counters: Arc<WireCounters>,
+}
+
+impl SocketFactory {
+    /// Wraps the session's stream.
+    pub fn new(stream: TcpStream) -> Self {
+        SocketFactory {
+            stream: Some(stream),
+            counters: Arc::new(WireCounters::default()),
+        }
+    }
+
+    /// Handle to the session's wire counters, valid after the trial.
+    pub fn counters(&self) -> Arc<WireCounters> {
+        Arc::clone(&self.counters)
+    }
+}
+
+impl TransportFactory for SocketFactory {
+    type Transport<M: WireMsg + 'static> = SocketTransport<M>;
+
+    fn make<M: WireMsg + 'static>(
+        &mut self,
+        _n: usize,
+        cfg: NetConfig,
+        trace: &Trace,
+    ) -> Result<SocketTransport<M>, String> {
+        let stream = self
+            .stream
+            .take()
+            .ok_or("a ba-serve session carries exactly one trial")?;
+        SocketTransport::new(stream, cfg, trace.clone(), Arc::clone(&self.counters))
+    }
+}

@@ -1,0 +1,215 @@
+//! Wire-codec robustness: every framed protocol message round-trips
+//! bit-exactly, and no torn, oversized, truncated, or garbage input can
+//! make the frame layer panic — it must error cleanly.
+
+use ba_baselines::{BoMsg, FloodMsg, PkMsg, RbMsg};
+use ba_core::ae_to_e::AeMsg;
+use ba_core::aeba::VoteMsg;
+use ba_core::everywhere::StackMsg;
+use ba_core::tournament::TourMsg;
+use ba_serve::frame::{Frame, FrameError, FrameReader, OutcomeWire, MAX_FRAME};
+use ba_sim::WireMsg;
+use proptest::prelude::*;
+
+/// Round-trips `msg` through its wire encoding and through a full
+/// `Send` data frame, checking payload bytes and the bits annotation.
+fn msg_round_trip<M: WireMsg + PartialEq + std::fmt::Debug>(msg: M) {
+    let bytes = msg.to_wire();
+    let back = M::from_wire(&bytes).expect("payload decodes");
+    assert_eq!(back, msg);
+
+    let frame = Frame::Send {
+        round: 5,
+        from: 1,
+        to: 2,
+        bits: msg.bit_len(),
+        payload: bytes.clone(),
+    };
+    let framed = frame.to_bytes();
+    let mut reader = FrameReader::new(framed.as_slice());
+    let got = reader.read_frame().expect("frame decodes");
+    let Frame::Send { bits, payload, .. } = &got else {
+        panic!("wrong frame variant: {got:?}");
+    };
+    assert_eq!(*bits, msg.bit_len());
+    assert_eq!(M::from_wire(payload).expect("framed payload decodes"), msg);
+}
+
+fn opt_bool(sel: u8) -> Option<bool> {
+    match sel % 3 {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+proptest! {
+    #[test]
+    fn tour_msg_round_trips(sel in 0u8..3, a in any::<u32>(), b in any::<u32>(),
+                            c in any::<u32>(), d in any::<u16>()) {
+        let msg = match sel {
+            0 => TourMsg::Expose { level: a, node: b, cand: c, bin: d },
+            1 => TourMsg::WinnerShare { level: a, node: b, array: c, words: u32::from(d) },
+            _ => TourMsg::RootCoin { j: a },
+        };
+        msg_round_trip(msg);
+    }
+
+    #[test]
+    fn ae_msg_round_trips(sel in 0u8..2, label in any::<u16>(), value in any::<u64>()) {
+        let msg = match sel {
+            0 => AeMsg::Request { label },
+            _ => AeMsg::Response { label, value },
+        };
+        msg_round_trip(msg);
+    }
+
+    #[test]
+    fn stack_msg_round_trips(sel in 0u8..2, a in any::<u32>(), b in any::<u16>()) {
+        let msg = match sel {
+            0 => StackMsg::Tour(TourMsg::Expose { level: a, node: a, cand: a, bin: b }),
+            _ => StackMsg::Ae(AeMsg::Response { label: b, value: u64::from(a) }),
+        };
+        msg_round_trip(msg);
+    }
+
+    #[test]
+    fn scalar_msgs_round_trip(v in any::<bool>(), sel in any::<u8>()) {
+        msg_round_trip(VoteMsg(v));
+        msg_round_trip(FloodMsg(v));
+        msg_round_trip(if sel.is_multiple_of(2) { PkMsg::Vote(v) } else { PkMsg::King(v) });
+        msg_round_trip(if sel.is_multiple_of(2) {
+            BoMsg::Report(v)
+        } else {
+            BoMsg::Propose(opt_bool(sel / 2))
+        });
+        msg_round_trip(if sel.is_multiple_of(2) {
+            RbMsg::Report(v)
+        } else {
+            RbMsg::Propose(opt_bool(sel / 2))
+        });
+    }
+
+    /// Every strict prefix of a valid frame reads as `Truncated` (the
+    /// stream ended mid-frame), never a panic and never silent success.
+    #[test]
+    fn torn_frames_error_cleanly(trial in any::<u64>(), round in any::<u32>(),
+                                 payload in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let frames = [
+            Frame::Open { trial, spec: "name = x\nprotocol = flood\nn = 8".to_owned() },
+            Frame::Send { round, from: 0, to: 1, bits: 16, payload: payload.clone() },
+            Frame::Deliver { round, from: 1, to: 0, bits: 16, payload },
+            Frame::Collect { round },
+            Frame::RoundDone { round },
+            Frame::Busy { retry_after_ms: round },
+            Frame::Shutdown,
+        ];
+        for frame in &frames {
+            let full = frame.to_bytes();
+            for cut in 1..full.len() {
+                let mut reader = FrameReader::new(&full[..cut]);
+                prop_assert!(
+                    matches!(reader.read_frame(), Err(FrameError::Truncated)),
+                    "prefix {cut}/{} of {frame:?} must be Truncated", full.len()
+                );
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics the reader: it decodes to a valid
+    /// frame or errors, and an oversized length prefix is rejected.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut reader = FrameReader::new(bytes.as_slice());
+        loop {
+            match reader.read_frame() {
+                Ok(_) => {}
+                Err(FrameError::Closed) => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Outcome frames round-trip exactly, floats included (IEEE bit
+    /// patterns on the wire).
+    #[test]
+    fn outcome_round_trips(seed in any::<u64>(), rounds in any::<u64>(),
+                           bits in any::<u64>(), frac in 0u32..1001,
+                           sel in any::<u8>()) {
+        let ow = OutcomeWire {
+            seed,
+            agreement: f64::from(frac) / 1000.0,
+            decided: f64::from(frac) / 500.0,
+            rounds,
+            total_bits: bits,
+            decided_bit: opt_bool(sel),
+            valid: opt_bool(sel / 3),
+            corrupt: u64::from(frac),
+            wire_frames: rounds,
+            wire_bytes: bits,
+        };
+        let framed = Frame::Outcome(ow.clone()).to_bytes();
+        let mut reader = FrameReader::new(framed.as_slice());
+        prop_assert_eq!(reader.read_frame().expect("decodes"), Frame::Outcome(ow));
+    }
+}
+
+/// A length prefix above the cap is rejected before the body is read —
+/// and the reader does not attempt the huge allocation.
+#[test]
+fn oversized_frame_rejected() {
+    for len in [MAX_FRAME + 1, u32::MAX] {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let mut reader = FrameReader::new(bytes.as_slice());
+        assert!(matches!(
+            reader.read_frame(),
+            Err(FrameError::Oversized { len: l }) if l == len
+        ));
+    }
+}
+
+/// Clean EOF between frames reads as `Closed`, EOF inside the next
+/// frame as `Truncated` — the distinction the server and client use to
+/// tell a finished peer from a broken one.
+#[test]
+fn mid_stream_eof_is_distinguished() {
+    let a = Frame::Collect { round: 1 }.to_bytes();
+    let b = Frame::RoundDone { round: 1 }.to_bytes();
+
+    // Full frame then clean close.
+    let mut stream = a.clone();
+    let mut reader = FrameReader::new(stream.as_slice());
+    assert!(reader.read_frame().is_ok());
+    assert!(matches!(reader.read_frame(), Err(FrameError::Closed)));
+
+    // Full frame then a torn second frame.
+    stream = a;
+    stream.extend_from_slice(&b[..b.len() - 1]);
+    let mut reader = FrameReader::new(stream.as_slice());
+    assert!(reader.read_frame().is_ok());
+    assert!(matches!(reader.read_frame(), Err(FrameError::Truncated)));
+}
+
+/// Malformed payload bytes inside a well-formed frame error at the
+/// message layer without disturbing the frame layer.
+#[test]
+fn malformed_payload_is_a_message_error_not_a_frame_error() {
+    let frame = Frame::Send {
+        round: 0,
+        from: 0,
+        to: 1,
+        bits: 16,
+        payload: vec![0xEE, 0x01, 0x02], // bad tag for every protocol enum
+    };
+    let framed = frame.to_bytes();
+    let mut reader = FrameReader::new(framed.as_slice());
+    let Frame::Send { payload, .. } = reader.read_frame().expect("frame layer accepts") else {
+        panic!("variant changed");
+    };
+    assert!(TourMsg::from_wire(&payload).is_err());
+    assert!(StackMsg::from_wire(&payload).is_err());
+    assert!(AeMsg::from_wire(&payload).is_err());
+    assert!(PkMsg::from_wire(&payload).is_err());
+}

@@ -82,6 +82,7 @@ mod process;
 mod rng;
 mod schedule;
 mod transport;
+pub mod wire;
 
 pub use adversary::{AdvAction, AdvView, Adversary, NullAdversary, StaticAdversary};
 pub use engine::{RunOutcome, Sim, SimBuilder};
@@ -93,3 +94,4 @@ pub use process::{Process, RoundCtx};
 pub use rng::{derive_rng, SimRng};
 pub use schedule::{Phase, PhaseId, Schedule};
 pub use transport::{Lockstep, Transport};
+pub use wire::{WireError, WireMsg};

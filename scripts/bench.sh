@@ -81,6 +81,24 @@ HUNT_TPS=$(awk -v t="$HUNT_BUDGET" -v w="$HUNT_WALL" \
     'BEGIN { if (w > 0) printf "%.1f", t / w; else print "0" }')
 echo "   ${HUNT_WALL}s wall, ${HUNT_TPS} trials/sec"
 
+# Service throughput: the ba-serve daemon hosting concurrent agreement
+# sessions over loopback TCP, measured by the load client (latency
+# percentiles, sessions/sec, bytes on the wire).
+echo "== serve throughput (64 concurrent sessions over loopback TCP) =="
+SERVE_ADDR="$(mktemp)"
+SERVE_JSON="$(mktemp)"
+trap 'rm -f "$NDJSON" "$SCNJSON" "$TRACEJSONL" "$SERVE_ADDR" "$SERVE_JSON"' EXIT
+rm -f "$SERVE_ADDR"
+timeout 600 target/release/serve \
+    --port-file "$SERVE_ADDR" --workers 8 --queue 64 >/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -s "$SERVE_ADDR" ]] && break; sleep 0.1; done
+[[ -s "$SERVE_ADDR" ]] || { echo "serve: daemon never published its port"; exit 1; }
+target/release/load \
+    --port-file "$SERVE_ADDR" --sessions 64 --concurrency 16 \
+    --json "$SERVE_JSON" --shutdown
+wait "$SERVE_PID"
+
 # ns/iter for one benchmark name out of the collected ndjson
 # (lines look like {"bench":"gf16/mul","ns_per_iter":1.97}).
 ns() {
@@ -132,6 +150,8 @@ SH_256_REF=$(ns "$NDJSON" "shamir/reconstruct_ref_n256")
     echo "    \"wall_seconds\": ${HUNT_WALL},"
     echo "    \"trials_per_second\": ${HUNT_TPS}"
     echo "  },"
+    echo "  \"serve\":"
+    sed 's/^/  /' "$SERVE_JSON" | sed '$ s/$/,/'
     echo "  \"scenarios\":"
     sed 's/^/  /' "$SCNJSON"
     echo "}"

@@ -48,6 +48,27 @@ echo "== hunt smoke (seed-pinned, budget-bounded) =="
 cargo run --release --offline -p ba-bench --bin hunt -- \
     --seed 7 --budget 150 --expect equivocate
 
+echo "== serve smoke (TCP daemon, one session, graceful shutdown) =="
+# Boots the ba-serve daemon on an ephemeral loopback port, runs a few
+# sessions through the load client, and requires: every session reaches
+# agreement, the daemon drains cleanly on shutdown, and the whole dance
+# fits in a timeout (a hung accept loop or switch deadlock fails here).
+SERVE_ADDR="$(mktemp)"
+SERVE_LOG="$(mktemp)"
+trap 'rm -f "$TRACE_TMP" "$SERVE_ADDR" "$SERVE_LOG"' EXIT
+rm -f "$SERVE_ADDR"
+timeout 180 target/release/serve \
+    --port-file "$SERVE_ADDR" --workers 2 --queue 4 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [[ -s "$SERVE_ADDR" ]] && break; sleep 0.1; done
+[[ -s "$SERVE_ADDR" ]] || { echo "serve: daemon never published its port"; exit 1; }
+timeout 120 target/release/load \
+    --port-file "$SERVE_ADDR" --sessions 4 --concurrency 2 --shutdown \
+    | tee "$SERVE_LOG"
+grep -q "all_agreed = true" "$SERVE_LOG" \
+    || { echo "serve: sessions completed without full agreement"; exit 1; }
+wait "$SERVE_PID"
+
 echo "== pinned regression scenarios =="
 cargo run --release --offline -p ba-bench --bin scenario -- scenarios/regressions
 
