@@ -91,6 +91,7 @@ fn main() {
     let table = Table::header(SCENARIO_COLUMNS);
     let mut rows = Vec::new();
     let mut failed = false;
+    let cache_before = ba_sampler::cache::stats();
     for file in &files {
         // An `n = 64,128,256` sweep expands to one row per size before
         // lowering; a single-`n` spec expands to itself.
@@ -120,7 +121,10 @@ fn main() {
         }
     }
 
-    // Append the quarantined profile section and flush the trace file.
+    // One process-level cache summary (per-trial splits are scheduling-
+    // dependent; the totals are not), then the quarantined profile
+    // section, then flush.
+    ba_exp::trace_sampler_cache(&trace, cache_before);
     trace.finish();
     if let Some(path) = json_out {
         let body = format!("[\n  {}\n]\n", rows.join(",\n  "));

@@ -17,7 +17,9 @@ use crate::ae_to_e::{AeMsg, AeToEConfig, AeToEOutcome, AeToEProcess};
 use crate::coin::CoinSequence;
 use crate::scale::{impl_scale_builders, StackParams};
 use crate::tournament::{self, TourMsg, TournamentConfig, TournamentOutcome, TreeAdversary};
-use ba_sim::{Adversary, BitStats, Envelope, Lockstep, Payload, ProcId, SimBuilder, Transport};
+use ba_sim::{
+    Adversary, BitStats, Envelope, Lockstep, Multicast, Payload, ProcId, SimBuilder, Transport,
+};
 
 /// Configuration for the full Algorithm 4 stack.
 #[derive(Clone, Debug)]
@@ -117,6 +119,29 @@ impl<Tr: Transport<StackMsg> + ?Sized> Transport<TourMsg> for TourLens<'_, Tr> {
         self.0.collect(round, &mut |e| {
             if let StackMsg::Tour(m) = e.payload {
                 deliver(Envelope::new(e.from, e.to, m));
+            }
+        });
+    }
+
+    fn send_many(&mut self, round: usize, mc: Multicast<TourMsg>) {
+        self.0.send_many(
+            round,
+            Multicast {
+                from: mc.from,
+                to: mc.to,
+                payload: StackMsg::Tour(mc.payload),
+            },
+        );
+    }
+
+    fn collect_many(&mut self, round: usize, deliver: &mut dyn FnMut(Multicast<TourMsg>)) {
+        self.0.collect_many(round, &mut |mc| {
+            if let StackMsg::Tour(m) = mc.payload {
+                deliver(Multicast {
+                    from: mc.from,
+                    to: mc.to,
+                    payload: m,
+                });
             }
         });
     }

@@ -35,10 +35,11 @@ use crate::block::CandidateArray;
 use crate::election::{lightest_bin, ElectionResult};
 use crate::scale::{impl_scale_builders, StackParams};
 use ba_sampler::RegularGraph;
-use ba_sim::{derive_rng, BitStats, Envelope, Lockstep, Payload, ProcId, Transport};
+use ba_sim::{derive_rng, BitStats, Envelope, Lockstep, Multicast, Payload, ProcId, Transport};
 use ba_topology::{Goodness, NodeAddr, Params, Tree};
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One logical committee-level message of the tournament, routed over
 /// the engine's [`Transport`] seam.
@@ -172,6 +173,12 @@ pub struct TournamentConfig {
     /// Fraction of good committee members that mis-see an exposed value
     /// (the paper's `1/log n` exposure noise; set 0 for a noiseless run).
     pub exposure_blindness: f64,
+    /// Route committee fans as [`Multicast`] batches — one transport
+    /// entry per (sender, committee, exchange) — instead of one envelope
+    /// per recipient. Outcomes, bit charges, and stats are byte-identical
+    /// either way (pinned by the net-equivalence matrix); the unbatched
+    /// mode exists for those pins and as the reference semantics.
+    pub batch_envelopes: bool,
 }
 
 impl TournamentConfig {
@@ -190,7 +197,16 @@ impl TournamentConfig {
             // quarter of that at laptop log₂ n keeps the modeled noise
             // from swamping log-sized committees.
             exposure_blindness: 0.25 / log_n,
+            batch_envelopes: true,
         }
+    }
+
+    /// Disables [`TournamentConfig::batch_envelopes`]: every committee
+    /// fan goes out as per-recipient envelopes (the reference path the
+    /// equivalence matrix compares against).
+    pub fn with_unbatched_envelopes(mut self) -> Self {
+        self.batch_envelopes = false;
+        self
     }
 
     fn apply_seed(&mut self, seed: u64) {
@@ -555,6 +571,10 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
         h
     };
 
+    // Committee member lists converted to Arc-shared recipient slices
+    // once per (level, node), reused by every fan to that committee.
+    let mut member_lists = MemberLists::default();
+
     while level < p.levels {
         let node_count = p.node_count(level);
         debug_assert_eq!(holdings.len(), node_count);
@@ -642,40 +662,45 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
         }
 
         // -- Routed exchange: each declared bin choice travels from the
-        // candidate's owner to every committee member. What the wire
-        // drops, the member never sees.
-        let mut outbox = Vec::new();
+        // candidate's owner to every committee member, one batch per
+        // candidate. What the wire drops, the member never sees.
+        let mut outbox: Vec<Multicast<TourMsg>> = Vec::new();
         for plan in &plans {
             let at = NodeAddr::new(level, plan.node);
+            let members = member_lists.get(&tree, at);
             let held = &holdings[plan.node];
             for (ci, _) in held.iter().enumerate() {
                 let owner = arrays[held[ci]].array.owner;
-                for &m in tree.members(at) {
-                    outbox.push((
-                        owner,
-                        m as usize,
-                        TourMsg::Expose {
-                            level: level as u32,
-                            node: plan.node as u32,
-                            cand: ci as u32,
-                            bin: plan.declared[ci],
-                        },
-                    ));
-                }
+                outbox.push(Multicast {
+                    from: ProcId::new(owner),
+                    to: members.clone(),
+                    payload: TourMsg::Expose {
+                        level: level as u32,
+                        node: plan.node as u32,
+                        cand: ci as u32,
+                        bin: plan.declared[ci],
+                    },
+                });
             }
         }
-        let inbox = route(net, &mut net_round, &format!("L{level}:expose"), outbox);
-        let mut exposed: HashSet<(usize, usize, usize)> = HashSet::new();
-        for e in &inbox {
+        let inbox = route(
+            net,
+            &mut net_round,
+            &format!("L{level}:expose"),
+            config.batch_envelopes,
+            outbox,
+        );
+        let mut exposed = Exposure::default();
+        for mc in inbox {
             if let TourMsg::Expose {
                 level: l,
                 node,
                 cand,
                 ..
-            } = e.payload
+            } = mc.payload
             {
                 if l as usize == level {
-                    exposed.insert((node as usize, cand as usize, e.to.index()));
+                    exposed.insert(node, cand, mc.to);
                 }
             }
         }
@@ -729,38 +754,47 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
         // every parent-committee member; the array advances only if a
         // strict majority of those deliveries arrive, otherwise its
         // shares are lost on the wire and it drops out.
-        let mut outbox = Vec::new();
+        let mut outbox: Vec<Multicast<TourMsg>> = Vec::new();
         let mut expected: Vec<(usize, usize, usize)> = Vec::new();
         for &(node, aid) in &elected {
             let at = NodeAddr::new(level, node);
             let senders = tree.members(at);
-            let recips = tree.members(tree.parent(at));
+            let recips = member_lists.get(&tree, tree.parent(at));
             let words = arrays[aid].array.words_from_level(level + 1) as u32;
+            let payload = TourMsg::WinnerShare {
+                level: level as u32,
+                node: node as u32,
+                array: aid as u32,
+                words,
+            };
             for &s in senders {
-                for &t in recips {
-                    outbox.push((
-                        s as usize,
-                        t as usize,
-                        TourMsg::WinnerShare {
-                            level: level as u32,
-                            node: node as u32,
-                            array: aid as u32,
-                            words,
-                        },
-                    ));
-                }
+                outbox.push(Multicast {
+                    from: ProcId::new(s as usize),
+                    to: recips.clone(),
+                    payload,
+                });
             }
             expected.push((node, aid, senders.len() * recips.len()));
         }
-        let inbox = route(net, &mut net_round, &format!("L{level}:winners"), outbox);
+        let inbox = route(
+            net,
+            &mut net_round,
+            &format!("L{level}:winners"),
+            config.batch_envelopes,
+            outbox,
+        );
+        let online: Vec<bool> = (0..n)
+            .map(|i| net.is_online(net_round, ProcId::new(i)))
+            .collect();
         let mut received: HashMap<usize, usize> = HashMap::new();
-        for e in &inbox {
+        for mc in &inbox {
             if let TourMsg::WinnerShare {
                 level: l, array, ..
-            } = e.payload
+            } = mc.payload
             {
                 if l as usize == level {
-                    *received.entry(array as usize).or_insert(0) += 1;
+                    *received.entry(array as usize).or_insert(0) +=
+                        mc.to.iter().filter(|t| online[t.index()]).count();
                 }
             }
         }
@@ -836,10 +870,13 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
         }
     }
 
-    // Gossip graph over all processors.
-    let mut grng = derive_rng(config.seed, 0x6007);
+    // Gossip graph over all processors, memoized across trials of the
+    // same seed (the (seed, label) stream fully determines it).
     let degree = p.aeba_degree.min(n - 1).max(1);
-    let graph = RegularGraph::random_out_degree(n, degree, &mut grng);
+    let graph = ba_sampler::cache::regular_graph(n, degree, (config.seed, 0x6007), || {
+        let mut grng = derive_rng(config.seed, 0x6007);
+        RegularGraph::random_out_degree(n, degree, &mut grng)
+    });
     let root_rounds = finalists.len().max(config.aeba.rounds).max(8);
 
     // -- Routed exchange: one coin opening per root-agreement round,
@@ -848,26 +885,43 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
     // offline for a majority of the window sits the root agreement out.
     let mut coin_recv = vec![false; root_rounds * n];
     let mut offline_rounds = vec![0usize; n];
+    let everyone: Arc<[ProcId]> = (0..n).map(ProcId::new).collect();
     for j in 0..root_rounds {
-        let mut outbox = Vec::new();
+        let mut outbox: Vec<Multicast<TourMsg>> = Vec::new();
         if !finalists.is_empty() {
             let owner = arrays[finalists[j % finalists.len()]].array.owner;
-            for m in 0..n {
-                outbox.push((owner, m, TourMsg::RootCoin { j: j as u32 }));
-            }
+            outbox.push(Multicast {
+                from: ProcId::new(owner),
+                to: everyone.clone(),
+                payload: TourMsg::RootCoin { j: j as u32 },
+            });
         }
-        let inbox = route(net, &mut net_round, "root:coin", outbox);
-        for e in &inbox {
-            if let TourMsg::RootCoin { j: jj } = e.payload {
-                // Count only on-time openings: a word arriving after its
-                // agreement round is useless to the voter.
+        let inbox = route(
+            net,
+            &mut net_round,
+            "root:coin",
+            config.batch_envelopes,
+            outbox,
+        );
+        let online: Vec<bool> = (0..n)
+            .map(|m| net.is_online(net_round, ProcId::new(m)))
+            .collect();
+        for mc in &inbox {
+            if let TourMsg::RootCoin { j: jj } = mc.payload {
+                // Count only on-time openings received by a live
+                // processor: a word arriving after its agreement round —
+                // or at a crashed recipient — is useless to the voter.
                 if jj as usize == j {
-                    coin_recv[j * n + e.to.index()] = true;
+                    for t in mc.to.iter() {
+                        if online[t.index()] {
+                            coin_recv[j * n + t.index()] = true;
+                        }
+                    }
                 }
             }
         }
         for (m, miss) in offline_rounds.iter_mut().enumerate() {
-            if !net.is_online(net_round, ProcId::new(m)) {
+            if !online[m] {
                 *miss += 1;
             }
         }
@@ -980,34 +1034,98 @@ pub fn run_with_transport<A: TreeAdversary, Tr: Transport<TourMsg> + ?Sized>(
 
 /// Runs one committee exchange over the transport: all of `outbox`
 /// leaves in the current transport round (senders that are offline say
-/// nothing), the clock advances, and whatever the wire delivers to an
-/// online recipient by the new round is returned. Late traffic from
-/// earlier exchanges surfaces here too — callers filter by the message
-/// keys they are waiting for, so stale deliveries fall on the floor
-/// exactly as they would in a round-based protocol.
+/// nothing), the clock advances, and whatever the wire delivers by the
+/// new round is returned as batches. Late traffic from earlier exchanges
+/// surfaces here too — callers filter by the message keys they are
+/// waiting for, and skip recipients offline at the delivery round, so
+/// stale or dead-letter deliveries fall on the floor exactly as they
+/// would in a round-based protocol.
+///
+/// With `batched` unset every fan expands to per-recipient envelopes in
+/// slice order — the reference semantics the equivalence matrix pins the
+/// batched mode against.
 fn route<Tr: Transport<TourMsg> + ?Sized>(
     net: &mut Tr,
     net_round: &mut usize,
     label: &str,
-    outbox: Vec<(usize, usize, TourMsg)>,
-) -> Vec<Envelope<TourMsg>> {
+    batched: bool,
+    outbox: Vec<Multicast<TourMsg>>,
+) -> Vec<Multicast<TourMsg>> {
     let r = *net_round;
     // Announce the exchange so a stats-keeping transport can attribute
     // this round's traffic to it (successive same-label exchanges
     // coalesce into one derived phase).
     net.mark_phase(r, label);
-    for (from, to, msg) in outbox {
-        let from = ProcId::new(from);
-        if net.is_online(r, from) {
-            net.send(r, Envelope::new(from, ProcId::new(to), msg));
+    for mc in outbox {
+        if net.is_online(r, mc.from) {
+            if batched {
+                net.send_many(r, mc);
+            } else {
+                for &to in mc.to.iter() {
+                    net.send(r, Envelope::new(mc.from, to, mc.payload));
+                }
+            }
         }
     }
     *net_round += 1;
     let nr = *net_round;
     let mut got = Vec::new();
-    net.collect(nr, &mut |e| got.push(e));
-    got.retain(|e| net.is_online(nr, e.to));
+    net.collect_many(nr, &mut |mc| got.push(mc));
     got
+}
+
+/// Committee member lists as Arc-shared [`ProcId`] slices, converted
+/// once per (level, node) and cloned per fan.
+#[derive(Default)]
+struct MemberLists {
+    cache: HashMap<(usize, usize), Arc<[ProcId]>>,
+}
+
+impl MemberLists {
+    fn get(&mut self, tree: &Tree, at: NodeAddr) -> Arc<[ProcId]> {
+        self.cache
+            .entry((at.level, at.index))
+            .or_insert_with(|| {
+                tree.members(at)
+                    .iter()
+                    .map(|&m| ProcId::new(m as usize))
+                    .collect()
+            })
+            .clone()
+    }
+}
+
+/// Exposure receipts that survived the routed exchange, in batch form:
+/// for each (node, candidate), the recipient groups the declaration
+/// reached. Groups keep the committee's sorted member order, so
+/// membership tests are binary searches instead of a hash entry per
+/// (candidate, member) pair.
+#[derive(Default)]
+struct Exposure {
+    by_cand: HashMap<(u32, u32), Vec<Arc<[ProcId]>>>,
+}
+
+impl Exposure {
+    fn insert(&mut self, node: u32, cand: u32, to: Arc<[ProcId]>) {
+        debug_assert!(
+            to.windows(2).all(|w| w[0].index() < w[1].index()),
+            "recipient groups must stay sorted for the membership search"
+        );
+        self.by_cand.entry((node, cand)).or_default().push(to);
+    }
+
+    /// Whether processor `m` received candidate `cand`'s declaration at
+    /// `node`. Queried only for members online at the delivery round, so
+    /// dead-letter recipients inside a group never count.
+    fn contains(&self, node: usize, cand: usize, m: usize) -> bool {
+        self.by_cand
+            .get(&(node as u32, cand as u32))
+            .is_some_and(|groups| {
+                groups
+                    .iter()
+                    .any(|g| g.binary_search_by_key(&m, |p| p.index()).is_ok())
+            })
+    }
 }
 
 /// Internal per-array protocol state.
@@ -1069,7 +1187,7 @@ fn run_node_election(
     def3: &Goodness,
     cost: &CostModel,
     config: &TournamentConfig,
-    exposed: &HashSet<(usize, usize, usize)>,
+    exposed: &Exposure,
     online: &[bool],
 ) -> ElectionOutcome {
     let p = &config.params;
@@ -1118,9 +1236,11 @@ fn run_node_election(
     // B_j(i).
     let mut agree_bits = 0u64;
     let graph_seed = config.seed ^ ((level as u64) << 32) ^ node as u64;
-    let mut grng = derive_rng(graph_seed, 0x6A_6A);
     let degree = p.aeba_degree.min(k.saturating_sub(1)).max(1);
-    let graph = RegularGraph::random_out_degree(k, degree, &mut grng);
+    let graph = ba_sampler::cache::regular_graph(k, degree, (graph_seed, 0x6A_6A), || {
+        let mut grng = derive_rng(graph_seed, 0x6A_6A);
+        RegularGraph::random_out_degree(k, degree, &mut grng)
+    });
     let bin_bits = (num_bins as f64).log2().ceil().max(1.0) as usize;
     let mut agreed: Vec<u16> = Vec::with_capacity(r_cands);
     // Committee-internal vote randomness: an independent stream per
@@ -1154,7 +1274,7 @@ fn run_node_election(
                             ^ ((bit as u64) << 8)
                             ^ m as u64,
                     );
-                    if exposed.contains(&(node, ci, members[m] as usize))
+                    if exposed.contains(node, ci, members[m] as usize)
                         && path_frac > 0.5
                         && !vrng.gen_bool(config.exposure_blindness.clamp(0.0, 0.49))
                     {
@@ -1291,17 +1411,19 @@ fn charge_expose_sink(
     // per-appearance accounting of Lemma 5).
     for level in (2..=at.level).rev() {
         let span = tree.leaf_range(at);
-        let count_at_level: Vec<usize> = {
-            // Nodes at `level` whose leaf range intersects `at`'s range.
-            let total = tree.params().node_count(level);
-            (0..total)
-                .filter(|&i| {
-                    let r = tree.leaf_range(NodeAddr::new(level, i));
-                    r.start < span.end && r.end > span.start
-                })
-                .collect()
-        };
-        for i in count_at_level {
+        // Nodes at `level` whose leaf range intersects `at`'s span.
+        // Node i there covers leaves [i·width, (i+1)·width) (clamped to
+        // n), so the intersecting indices are the contiguous run
+        // span.start/width .. ⌈span.end/width⌉ — same nodes, same
+        // ascending order as a full-level intersection scan, without
+        // touching the O(node_count) non-overlapping nodes.
+        let width = tree.leaf_range(NodeAddr::new(level, 0)).end.max(1);
+        let lo = span.start / width;
+        let hi = span
+            .end
+            .div_ceil(width)
+            .min(tree.params().node_count(level));
+        for i in lo..hi {
             for &m in tree.members(NodeAddr::new(level, i)) {
                 let b = cost.send_down_bits(words);
                 out.push((m as usize, b));

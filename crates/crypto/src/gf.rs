@@ -203,6 +203,30 @@ impl Gf16 {
         Gf16(t.exp[idx as usize])
     }
 
+    /// Multiplicative-group log of a nonzero element (`None` for zero):
+    /// the hoistable half of a table multiply. Multi-point evaluation
+    /// takes each point's log once, then pays one log and one exp lookup
+    /// per product instead of two logs and an exp.
+    #[inline]
+    pub(crate) fn log_raw(self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(tables().log[self.0 as usize] as u32)
+        }
+    }
+
+    /// `self * x` for the nonzero `x` whose [`Gf16::log_raw`] is `lx`.
+    /// The doubled exp table absorbs the log sum without a modulo.
+    #[inline]
+    pub(crate) fn mul_by_log(self, lx: u32) -> Gf16 {
+        if self.0 == 0 {
+            return Gf16::ZERO;
+        }
+        let t = tables();
+        Gf16(t.exp[(t.log[self.0 as usize] as u32 + lx) as usize])
+    }
+
     /// The multiplicative inverse, or `None` for zero.
     ///
     /// O(1): `a⁻¹ = g^(65535 − log a)`, one table lookup.

@@ -103,16 +103,36 @@ pub fn reassemble_layer(x: Gf16, child_shares: &[Share]) -> Result<Share, Crypto
 pub struct ShareTree {
     secret: Gf16,
     layers: Vec<Layer>,
-    children: Vec<Node>,
+    /// Flat node arena: the roots (layer-1 holders) occupy indices
+    /// `0..layers[0].n` and every node's children form one contiguous
+    /// run, so dealing is one growing `Vec` and traversal is index
+    /// arithmetic instead of per-node boxed-`Vec` pointer chasing. The
+    /// boxed layout survives as [`reference::ShareTree`], the oracle the
+    /// equivalence proptests compare against.
+    arena: Vec<ArenaNode>,
 }
 
-#[derive(Clone, Debug)]
-struct Node {
+/// One node of the flat dealing: 12 bytes, `Copy`, no owned children.
+#[derive(Clone, Copy, Debug)]
+struct ArenaNode {
     /// This node's share (evaluation point in the parent's sharing and
     /// value). For inner nodes the value has conceptually been erased; it
     /// is retained here only so tests can cross-check reconstruction.
     share: Share,
-    children: Vec<Node>,
+    /// Arena index of the first child; children are contiguous.
+    children_start: u32,
+    /// Number of children (0 for leaves).
+    children_len: u32,
+}
+
+impl ArenaNode {
+    fn leaf(share: Share) -> Self {
+        ArenaNode {
+            share,
+            children_start: 0,
+            children_len: 0,
+        }
+    }
 }
 
 impl ShareTree {
@@ -134,34 +154,39 @@ impl ShareTree {
         }
         let first = layers[0];
         let top = shamir::share(secret, first.n, first.t, rng)?;
-        let children = top
-            .into_iter()
-            .map(|s| Self::grow(s, &layers[1..], rng))
-            .collect::<Result<Vec<_>, _>>()?;
+        let mut arena: Vec<ArenaNode> = top.into_iter().map(ArenaNode::leaf).collect();
+        for i in 0..first.n {
+            Self::grow(&mut arena, i, &layers[1..], rng)?;
+        }
         Ok(ShareTree {
             secret,
             layers: layers.to_vec(),
-            children,
+            arena,
         })
     }
 
+    /// Expands `node` in place. RNG draw order is the reference model's
+    /// preorder — this node's reshare first, then each child subtree in
+    /// index order — so arena and boxed dealings of the same stream are
+    /// share-for-share identical.
     fn grow<R: Rng + ?Sized>(
-        share: Share,
+        arena: &mut Vec<ArenaNode>,
+        node: usize,
         rest: &[Layer],
         rng: &mut R,
-    ) -> Result<Node, CryptoError> {
+    ) -> Result<(), CryptoError> {
         let Some(&layer) = rest.first() else {
-            return Ok(Node {
-                share,
-                children: Vec::new(),
-            });
+            return Ok(());
         };
-        let subshares = reshare(share, layer, rng)?;
-        let children = subshares
-            .into_iter()
-            .map(|s| Self::grow(s, &rest[1..], rng))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Node { share, children })
+        let subshares = reshare(arena[node].share, layer, rng)?;
+        let start = arena.len();
+        arena[node].children_start = start as u32;
+        arena[node].children_len = layer.n as u32;
+        arena.extend(subshares.into_iter().map(ArenaNode::leaf));
+        for i in 0..layer.n {
+            Self::grow(arena, start + i, &rest[1..], rng)?;
+        }
+        Ok(())
     }
 
     /// The dealt secret (test oracle; the protocol never reads this).
@@ -179,28 +204,50 @@ impl ShareTree {
         self.layers.iter().map(|l| l.n).product()
     }
 
+    /// Leaf shares in path order (the traversal order of
+    /// [`ShareTree::leaf_paths`]), for share-for-share comparison with
+    /// [`reference::ShareTree::leaf_shares`].
+    pub fn leaf_shares(&self) -> Vec<Share> {
+        fn walk(arena: &[ArenaNode], node: usize, out: &mut Vec<Share>) {
+            let nd = arena[node];
+            if nd.children_len == 0 {
+                out.push(nd.share);
+                return;
+            }
+            for i in 0..nd.children_len as usize {
+                walk(arena, nd.children_start as usize + i, out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.leaf_count());
+        for i in 0..self.layers[0].n {
+            walk(&self.arena, i, &mut out);
+        }
+        out
+    }
+
     /// All leaf paths; a path `[i0, i1, …]` names holder `i1` of the
     /// re-sharing done by holder `i0`, etc. Its length equals
     /// [`ShareTree::depth`].
     pub fn leaf_paths(&self) -> Vec<Vec<usize>> {
         let mut out = Vec::with_capacity(self.leaf_count());
         let mut path = Vec::new();
-        for (i, c) in self.children.iter().enumerate() {
+        for i in 0..self.layers[0].n {
             path.push(i);
-            Self::collect_paths(c, &mut path, &mut out);
+            self.collect_paths(i, &mut path, &mut out);
             path.pop();
         }
         out
     }
 
-    fn collect_paths(node: &Node, path: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
-        if node.children.is_empty() {
+    fn collect_paths(&self, node: usize, path: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        let nd = self.arena[node];
+        if nd.children_len == 0 {
             out.push(path.clone());
             return;
         }
-        for (i, c) in node.children.iter().enumerate() {
+        for i in 0..nd.children_len as usize {
             path.push(i);
-            Self::collect_paths(c, path, out);
+            self.collect_paths(nd.children_start as usize + i, path, out);
             path.pop();
         }
     }
@@ -217,10 +264,10 @@ impl ShareTree {
     pub fn recover<F: Fn(&[usize]) -> bool>(&self, holds: F) -> Option<Gf16> {
         let mut path = Vec::new();
         let mut avail: Vec<Share> = Vec::new();
-        for (i, c) in self.children.iter().enumerate() {
+        for i in 0..self.layers[0].n {
             path.push(i);
-            if let Some(y) = self.recover_node(c, &mut path, &holds) {
-                avail.push(Share::new(c.share.x, y));
+            if let Some(y) = self.recover_node(i, &mut path, &holds) {
+                avail.push(Share::new(self.arena[i].share.x, y));
             }
             path.pop();
         }
@@ -235,21 +282,23 @@ impl ShareTree {
     /// `path.len()`), from the held leaves beneath it.
     fn recover_node<F: Fn(&[usize]) -> bool>(
         &self,
-        node: &Node,
+        node: usize,
         path: &mut Vec<usize>,
         holds: &F,
     ) -> Option<Gf16> {
-        if node.children.is_empty() {
-            return holds(path).then_some(node.share.y);
+        let nd = self.arena[node];
+        if nd.children_len == 0 {
+            return holds(path).then_some(nd.share.y);
         }
         // `node` sits at layer `path.len()`; its children were produced by
         // `layers[path.len()]` (0-indexed), whose threshold gates assembly.
         let t = self.layers[path.len()].t;
         let mut avail: Vec<Share> = Vec::new();
-        for (i, c) in node.children.iter().enumerate() {
+        let start = nd.children_start as usize;
+        for i in 0..nd.children_len as usize {
             path.push(i);
-            if let Some(y) = self.recover_node(c, path, holds) {
-                avail.push(Share::new(c.share.x, y));
+            if let Some(y) = self.recover_node(start + i, path, holds) {
+                avail.push(Share::new(self.arena[start + i].share.x, y));
             }
             path.pop();
         }
@@ -257,6 +306,151 @@ impl ShareTree {
             shamir::reconstruct(&avail).ok()
         } else {
             None
+        }
+    }
+}
+
+/// The original boxed-children dealing, retained verbatim as the
+/// reference oracle (the `mul_ref` pattern): property tests deal the
+/// arena and this model from identical RNG streams and require
+/// share-for-share and recovery agreement. Nothing outside tests should
+/// prefer it — it allocates one `Vec` per node.
+pub mod reference {
+    use super::{reshare, Layer};
+    use crate::error::CryptoError;
+    use crate::gf::Gf16;
+    use crate::shamir::{self, Share};
+    use rand::Rng;
+
+    /// Boxed-children iterated dealing; see [`super::ShareTree`] for the
+    /// production arena layout and the API contract both satisfy.
+    #[derive(Clone, Debug)]
+    pub struct ShareTree {
+        secret: Gf16,
+        layers: Vec<Layer>,
+        children: Vec<Node>,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Node {
+        share: Share,
+        children: Vec<Node>,
+    }
+
+    impl ShareTree {
+        /// Deals `secret` through `layers`; identical RNG consumption to
+        /// [`super::ShareTree::deal`].
+        ///
+        /// # Errors
+        ///
+        /// [`CryptoError::InvalidParams`] if `layers` is empty or any
+        /// layer has unusable parameters.
+        pub fn deal<R: Rng + ?Sized>(
+            secret: Gf16,
+            layers: &[Layer],
+            rng: &mut R,
+        ) -> Result<Self, CryptoError> {
+            if layers.is_empty() {
+                return Err(CryptoError::InvalidParams { n: 0, t: 0 });
+            }
+            let first = layers[0];
+            let top = shamir::share(secret, first.n, first.t, rng)?;
+            let children = top
+                .into_iter()
+                .map(|s| Self::grow(s, &layers[1..], rng))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(ShareTree {
+                secret,
+                layers: layers.to_vec(),
+                children,
+            })
+        }
+
+        fn grow<R: Rng + ?Sized>(
+            share: Share,
+            rest: &[Layer],
+            rng: &mut R,
+        ) -> Result<Node, CryptoError> {
+            let Some(&layer) = rest.first() else {
+                return Ok(Node {
+                    share,
+                    children: Vec::new(),
+                });
+            };
+            let subshares = reshare(share, layer, rng)?;
+            let children = subshares
+                .into_iter()
+                .map(|s| Self::grow(s, &rest[1..], rng))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Node { share, children })
+        }
+
+        /// The dealt secret.
+        pub fn secret(&self) -> Gf16 {
+            self.secret
+        }
+
+        /// Leaf shares in path order, for share-level comparison with the
+        /// arena dealing.
+        pub fn leaf_shares(&self) -> Vec<Share> {
+            let mut out = Vec::new();
+            fn walk(node: &Node, out: &mut Vec<Share>) {
+                if node.children.is_empty() {
+                    out.push(node.share);
+                    return;
+                }
+                for c in &node.children {
+                    walk(c, out);
+                }
+            }
+            for c in &self.children {
+                walk(c, &mut out);
+            }
+            out
+        }
+
+        /// Reference recovery; same contract as
+        /// [`super::ShareTree::recover`].
+        pub fn recover<F: Fn(&[usize]) -> bool>(&self, holds: F) -> Option<Gf16> {
+            let mut path = Vec::new();
+            let mut avail: Vec<Share> = Vec::new();
+            for (i, c) in self.children.iter().enumerate() {
+                path.push(i);
+                if let Some(y) = self.recover_node(c, &mut path, &holds) {
+                    avail.push(Share::new(c.share.x, y));
+                }
+                path.pop();
+            }
+            if avail.len() > self.layers[0].t {
+                shamir::reconstruct(&avail).ok()
+            } else {
+                None
+            }
+        }
+
+        fn recover_node<F: Fn(&[usize]) -> bool>(
+            &self,
+            node: &Node,
+            path: &mut Vec<usize>,
+            holds: &F,
+        ) -> Option<Gf16> {
+            if node.children.is_empty() {
+                return holds(path).then_some(node.share.y);
+            }
+            let t = self.layers[path.len()].t;
+            let mut avail: Vec<Share> = Vec::new();
+            for (i, c) in node.children.iter().enumerate() {
+                path.push(i);
+                if let Some(y) = self.recover_node(c, path, holds) {
+                    avail.push(Share::new(c.share.x, y));
+                }
+                path.pop();
+            }
+            if avail.len() > t {
+                shamir::reconstruct(&avail).ok()
+            } else {
+                None
+            }
         }
     }
 }
@@ -396,6 +590,40 @@ mod tests {
                 );
                 prop_assert_eq!(tree.recover(|p| p[1] < t2), None);
                 prop_assert_eq!(tree.recover(|p| p[0] < t1), None);
+            }
+
+            /// Arena and boxed-reference dealings of identical RNG
+            /// streams are the same object: same leaf shares in the
+            /// same order, same recovery outcome for arbitrary
+            /// coalitions.
+            #[test]
+            fn arena_equals_boxed_reference(
+                secret in any::<u16>(),
+                n1 in 2usize..6,
+                n2 in 2usize..6,
+                n3 in 2usize..5,
+                seed in any::<u64>(),
+                mask in any::<u64>(),
+            ) {
+                let layers = [Layer::majority(n1), Layer::majority(n2), Layer::majority(n3)];
+                let secret = Gf16::new(secret);
+                let arena = ShareTree::deal(
+                    secret, &layers, &mut StdRng::seed_from_u64(seed),
+                ).unwrap();
+                let boxed = reference::ShareTree::deal(
+                    secret, &layers, &mut StdRng::seed_from_u64(seed),
+                ).unwrap();
+                prop_assert_eq!(arena.leaf_shares(), boxed.leaf_shares());
+                // A pseudo-random coalition from the mask bits.
+                let holds = |p: &[usize]| {
+                    let h = p.iter().fold(0x9E37u64, |a, &i| {
+                        a.wrapping_mul(31).wrapping_add(i as u64 + 1)
+                    });
+                    mask.rotate_left((h % 64) as u32) & 1 == 1
+                };
+                prop_assert_eq!(arena.recover(holds), boxed.recover(holds));
+                prop_assert_eq!(arena.recover(|_| true), Some(secret));
+                prop_assert_eq!(arena.recover(|_| true), boxed.recover(|_| true));
             }
 
             /// Recovery is monotone: adding leaves never destroys it.

@@ -57,11 +57,13 @@ pub fn share<R: Rng + ?Sized>(
         return Err(CryptoError::InvalidParams { n, t });
     }
     let poly = Poly::random_with_secret(secret, t, rng);
-    Ok((0..n)
-        .map(|j| {
-            let x = Gf16::new((j + 1) as u16);
-            Share::new(x, poly.eval(x))
-        })
+    // Chunked multi-point evaluation; `Poly::eval` is its proptest
+    // oracle, so the share vector is unchanged bit-for-bit.
+    let xs: Vec<Gf16> = (0..n).map(|j| Gf16::new((j + 1) as u16)).collect();
+    Ok(xs
+        .iter()
+        .zip(poly.eval_many(&xs))
+        .map(|(&x, y)| Share::new(x, y))
         .collect())
 }
 

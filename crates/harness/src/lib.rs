@@ -55,8 +55,8 @@ mod stats;
 pub use experiment::{Experiment, Metric};
 pub use hunt::{hunt, hunt_traced, shrink_spec, Finding, HuntConfig, HuntReport, Violation};
 pub use runner::{
-    run, run_traced, run_trial, run_trial_traced, run_trial_with_factory, NetFactory, RunReport,
-    SessionTransport, TransportFactory, TrialOutcome,
+    run, run_traced, run_trial, run_trial_traced, run_trial_with_factory, trace_sampler_cache,
+    NetFactory, RunReport, SessionTransport, TransportFactory, TrialOutcome,
 };
 pub use spec::{
     AdversarySpec, AeToESpec, AebaSpec, GossipDegree, Knowledgeable, MessageAdversary, OutputSpec,

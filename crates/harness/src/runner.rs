@@ -307,6 +307,29 @@ fn trace_talkers(trace: &Trace, round: usize, per_proc: impl Iterator<Item = u64
     }
 }
 
+/// Emits one `sampler:cache` trace event summarizing graph/sampler
+/// registry traffic since the `since` snapshot (take it with
+/// [`ba_sampler::cache::stats`] before the run).
+///
+/// Call this once per *process* run, from a binary's top level — never
+/// per trial. The registry counters are process-cumulative: their totals
+/// are deterministic (misses always equal the number of distinct keys
+/// built), but the per-trial split depends on thread scheduling, so a
+/// per-trial event would break merged-trace byte-identity across
+/// `BA_PAR_THREADS`.
+pub fn trace_sampler_cache(trace: &Trace, since: ba_sampler::CacheStats) {
+    if !trace.is_on() {
+        return;
+    }
+    let delta = ba_sampler::cache::stats().since(since);
+    trace.event(
+        "sampler:cache",
+        0,
+        "summary",
+        &[("hits", delta.hits.into()), ("misses", delta.misses.into())],
+    );
+}
+
 /// Runs one engine-hosted protocol trial over a `ba-net` transport.
 /// `wrong_pred` flags a decided output as *wrong* (e.g. not the message
 /// Algorithm 3 was spreading); pass `|_| false` where the notion does
@@ -589,10 +612,13 @@ fn aeba_trial<TF: TransportFactory>(
     };
     let cap = spec.output.rounds_cap.unwrap_or(rounds + 2);
     let degree = aeba.degree.for_n(n);
-    let mut grng = rand_chacha::ChaCha12Rng::seed_from_u64(seed ^ 0x6261_6772);
-    let graph = Arc::new(ba_sampler::RegularGraph::random_out_degree(
-        n, degree, &mut grng,
-    ));
+    // The (raw-seed, tag) pair identifies the seed_from_u64 stream this
+    // builder consumes, so repeat trials reuse the cached graph.
+    let graph =
+        ba_sampler::cache::regular_graph(n, degree, (seed ^ 0x6261_6772, 0x6261_6772), || {
+            let mut grng = rand_chacha::ChaCha12Rng::seed_from_u64(seed ^ 0x6261_6772);
+            ba_sampler::RegularGraph::random_out_degree(n, degree, &mut grng)
+        });
     let coin = Arc::new(UnreliableCoin::generate(
         rounds,
         aeba.coin_success,

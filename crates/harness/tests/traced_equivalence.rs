@@ -96,6 +96,34 @@ fn traced_structured_runs_equal_untraced() {
     }
 }
 
+/// A repeat run of the same spec re-serves its committee graphs from
+/// the sampler registry, and the process-level `sampler:cache` event
+/// reports that traffic.
+#[test]
+fn sampler_cache_event_reports_hits_on_warm_rerun() {
+    let spec = RunSpec::tournament(64).trials(1).seeds(41);
+    let before = ba_sampler::cache::stats();
+    let first = run(&spec).expect("cold run");
+    let second = run(&spec).expect("warm run");
+    assert_eq!(first.trials[0].total_bits, second.trials[0].total_bits);
+
+    let trace = Trace::memory();
+    ba_exp::trace_sampler_cache(&trace, before);
+    let lines = trace.take_lines();
+    let line = lines
+        .iter()
+        .find(|l| l.contains("\"sampler:cache\""))
+        .expect("cache summary event");
+    assert!(line.contains("\"hits\": "), "line: {line}");
+    let hits: u64 = line
+        .split("\"hits\": ")
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("parse hits");
+    assert!(hits > 0, "warm rerun must hit the registry: {line}");
+}
+
 /// Trial traces merge in trial order whatever the pool does: two runs
 /// of the same spec produce byte-identical in-memory traces.
 #[test]

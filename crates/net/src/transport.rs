@@ -16,7 +16,8 @@ use crate::event::{DeliveryPolicy, EventQueue};
 use crate::fault::{DropCause, FaultPlan};
 use crate::latency::LatencyModel;
 use ba_obs::Trace;
-use ba_sim::{derive_rng, Envelope, Payload, ProcId, Schedule, SimRng, Transport};
+use ba_sim::{derive_rng, Envelope, Multicast, Payload, ProcId, Schedule, SimRng, Transport};
+use std::sync::Arc;
 
 /// Label space for the network transport's RNG stream (labels `0..n` are
 /// processor coins, `1 << 40` the adversary, `1 << 41` sampler
@@ -194,11 +195,31 @@ impl NetStats {
     }
 }
 
-/// An envelope in flight, remembering when it left.
+/// An envelope or multicast in flight, remembering when it left.
 #[derive(Debug)]
 struct InFlight<M> {
     sent_round: usize,
-    env: Envelope<M>,
+    from: ProcId,
+    to: Dest,
+    payload: M,
+}
+
+/// Recipients of one in-flight entry. A batched fan whose members share
+/// a fate (same drop/latency decision, or none to make) stays one queue
+/// entry; otherwise [`NetTransport::send_many`] splits it by arrival.
+#[derive(Debug)]
+enum Dest {
+    One(ProcId),
+    Many(Arc<[ProcId]>),
+}
+
+impl Dest {
+    fn len(&self) -> usize {
+        match self {
+            Dest::One(_) => 1,
+            Dest::Many(list) => list.len(),
+        }
+    }
 }
 
 /// The timed, faulty network behind the synchronous engine.
@@ -237,6 +258,13 @@ pub struct NetTransport<M> {
     /// Send-side counters of the round currently being sent, flushed as
     /// one `net:send` event at the next collect (or at `into_stats`).
     pend: (usize, u64, u64, u64),
+    /// Logical envelopes currently in flight (a multicast counts one per
+    /// recipient, so batching never changes [`NetStats::in_flight_at_end`]).
+    in_flight: u64,
+    /// Whether any processor can ever be offline (a crash in the plan or
+    /// a churn model); when false, delivered batches skip the
+    /// per-recipient dead-letter scan.
+    has_offline: bool,
 }
 
 impl<M> NetTransport<M> {
@@ -266,6 +294,8 @@ impl<M> NetTransport<M> {
                 ..PhaseNetStats::default()
             });
         }
+        let has_offline =
+            crash_round.iter().any(|&c| c != usize::MAX) || cfg.faults.churn.is_some();
         NetTransport {
             cfg,
             crash_round,
@@ -278,6 +308,8 @@ impl<M> NetTransport<M> {
             due: Vec::new(),
             trace: Trace::off(),
             pend: (0, 0, 0, 0),
+            in_flight: 0,
+            has_offline,
         }
     }
 
@@ -347,7 +379,7 @@ impl<M> NetTransport<M> {
     /// [`NetStats::in_flight_at_end`].
     pub fn into_stats(mut self) -> NetStats {
         self.flush_send_event();
-        self.stats.in_flight_at_end = self.queue.len() as u64;
+        self.stats.in_flight_at_end = self.in_flight;
         self.stats
     }
 
@@ -371,6 +403,96 @@ impl<M> NetTransport<M> {
             k.checked_sub(1)?
         };
         self.stats.per_phase.get_mut(idx)
+    }
+
+    /// [`Transport::is_online`] without the trait bound, so internal
+    /// accounting paths can query liveness for any payload type.
+    fn online_at(&self, round: usize, p: ProcId) -> bool {
+        let i = p.index();
+        if self.crash_round.get(i).is_some_and(|&c| round >= c) {
+            return false;
+        }
+        !self.cfg.faults.churn.is_some_and(|c| c.is_down(round, i))
+    }
+
+    /// The shared body of [`Transport::collect`] and
+    /// [`Transport::collect_many`]: drains everything due at `round`,
+    /// does all per-recipient accounting (a multicast counts once per
+    /// recipient, exactly like its unbatched expansion would), and hands
+    /// each in-flight entry to `sink` in delivery order.
+    fn drain_round(&mut self, round: usize, mut sink: impl FnMut(ProcId, Dest, M)) {
+        // Everything that arrived by this round's opening tick is due.
+        // (Nothing sent in round r can arrive before r·delta, and collect
+        // for round r runs before round r's sends, so the r+1 floor is
+        // structural.) Batched: whole same-arrival buckets detach in one
+        // tree operation instead of one heap pop per envelope.
+        let now = (round as u64).saturating_mul(self.cfg.delta);
+        // Close out the previous round's send-side counters first, so
+        // the trace reads send → deliver in timeline order.
+        if self.trace.is_on() {
+            self.flush_send_event();
+        }
+        let before = (
+            self.stats.delivered,
+            self.stats.late,
+            self.stats.dead_letters,
+        );
+        let mut due = std::mem::take(&mut self.due);
+        debug_assert!(due.is_empty());
+        self.queue.drain_due_policy(
+            now,
+            self.cfg.ordering,
+            &mut self.order_rng,
+            &mut |_, inflight| due.push(inflight),
+        );
+        for inflight in due.drain(..) {
+            let count = inflight.to.len() as u64;
+            self.in_flight -= count;
+            self.stats.delivered += count;
+            // The wire did its job, but a recipient that is dead or
+            // churned out this round will never read the message.
+            let dead = if self.has_offline {
+                match &inflight.to {
+                    Dest::One(p) => u64::from(!self.online_at(round, *p)),
+                    Dest::Many(list) => {
+                        list.iter().filter(|&&p| !self.online_at(round, p)).count() as u64
+                    }
+                }
+            } else {
+                0
+            };
+            self.stats.dead_letters += dead;
+            let lateness = round.saturating_sub(inflight.sent_round + 1) as u64;
+            if lateness > 0 {
+                self.stats.late += count;
+                self.stats.late_rounds += lateness * count;
+            }
+            if let Some(b) = self.phase_bucket(inflight.sent_round) {
+                b.delivered += count;
+                b.dead_letters += dead;
+                if lateness > 0 {
+                    b.late += count;
+                    b.late_rounds += lateness * count;
+                }
+            }
+            sink(inflight.from, inflight.to, inflight.payload);
+        }
+        self.due = due;
+        if self.trace.is_on() {
+            let delivered = self.stats.delivered - before.0;
+            if delivered > 0 {
+                self.trace.event(
+                    "net:recv",
+                    round as u64,
+                    "",
+                    &[
+                        ("delivered", delivered.into()),
+                        ("late", (self.stats.late - before.1).into()),
+                        ("dead_letters", (self.stats.dead_letters - before.2).into()),
+                    ],
+                );
+            }
+        }
     }
 }
 
@@ -420,90 +542,168 @@ impl<M: Payload> Transport<M> for NetTransport<M> {
             .saturating_add(latency);
         let tie = self.emitted;
         self.emitted += 1;
+        self.in_flight += 1;
         self.queue.push(
             arrival,
             tie,
             InFlight {
                 sent_round: round,
-                env,
+                from: env.from,
+                to: Dest::One(env.to),
+                payload: env.payload,
             },
         );
     }
 
-    fn collect(&mut self, round: usize, deliver: &mut dyn FnMut(Envelope<M>)) {
-        // Everything that arrived by this round's opening tick is due.
-        // (Nothing sent in round r can arrive before r·delta, and collect
-        // for round r runs before round r's sends, so the r+1 floor is
-        // structural.) Batched: whole same-arrival buckets detach in one
-        // tree operation instead of one heap pop per envelope.
-        let now = (round as u64).saturating_mul(self.cfg.delta);
-        // Close out the previous round's send-side counters first, so
-        // the trace reads send → deliver in timeline order.
-        if self.trace.is_on() {
-            self.flush_send_event();
+    /// Accepts a whole fan as one call, byte-identical to its unbatched
+    /// expansion: the same per-recipient counters, the same RNG draws in
+    /// the same order, and the same delivery schedule — but queue volume
+    /// proportional to logical exchanges instead of recipients.
+    fn send_many(&mut self, round: usize, mc: Multicast<M>) {
+        if mc.to.is_empty() {
+            return;
         }
-        let before = (
-            self.stats.delivered,
-            self.stats.late,
-            self.stats.dead_letters,
-        );
-        let mut due = std::mem::take(&mut self.due);
-        debug_assert!(due.is_empty());
-        self.queue.drain_due_policy(
-            now,
-            self.cfg.ordering,
-            &mut self.order_rng,
-            &mut |_, inflight| due.push(inflight),
-        );
-        for inflight in due.drain(..) {
-            self.stats.delivered += 1;
-            // The wire did its job, but a recipient that is dead or
-            // churned out this round will never read the message.
-            let dead = !self.is_online(round, inflight.env.to);
-            if dead {
-                self.stats.dead_letters += 1;
-            }
-            let lateness = round.saturating_sub(inflight.sent_round + 1) as u64;
-            if lateness > 0 {
-                self.stats.late += 1;
-                self.stats.late_rounds += lateness;
-            }
-            if let Some(b) = self.phase_bucket(inflight.sent_round) {
-                b.delivered += 1;
-                if dead {
-                    b.dead_letters += 1;
-                }
-                if lateness > 0 {
-                    b.late += 1;
-                    b.late_rounds += lateness;
-                }
-            }
-            deliver(inflight.env);
+        let count = mc.to.len() as u64;
+        self.stats.sent += count;
+        let bits = mc.payload.bit_len();
+        if let Some(b) = self.phase_bucket(round) {
+            b.sent += count;
+            b.sent_bits += bits * count;
         }
-        self.due = due;
         if self.trace.is_on() {
-            let delivered = self.stats.delivered - before.0;
-            if delivered > 0 {
-                self.trace.event(
-                    "net:recv",
-                    round as u64,
-                    "",
-                    &[
-                        ("delivered", delivered.into()),
-                        ("late", (self.stats.late - before.1).into()),
-                        ("dead_letters", (self.stats.dead_letters - before.2).into()),
-                    ],
+            if self.pend.0 != round {
+                self.flush_send_event();
+            }
+            self.pend.0 = round;
+            self.pend.1 += count;
+            self.pend.2 += bits * count;
+        }
+        // Fast path: a trivial fault plan and constant latency make
+        // every per-recipient decision identical without touching the
+        // RNG (partition checks are pure, drops only draw when
+        // drop_prob > 0, Constant sampling is draw-free), so the whole
+        // fan stays one queue entry. FIFO order survives because the
+        // batch owns the contiguous tie range [emitted, emitted+count).
+        if self.cfg.faults.is_trivial() {
+            if let LatencyModel::Constant(d) = self.cfg.latency {
+                let arrival = (round as u64)
+                    .saturating_mul(self.cfg.delta)
+                    .saturating_add(d);
+                let tie = self.emitted;
+                self.emitted += count;
+                self.in_flight += count;
+                self.queue.push(
+                    arrival,
+                    tie,
+                    InFlight {
+                        sent_round: round,
+                        from: mc.from,
+                        to: Dest::Many(mc.to),
+                        payload: mc.payload,
+                    },
                 );
+                return;
             }
+        }
+        // Slow path: replay the exact per-recipient decisions of the
+        // unbatched expansion — the same drop and latency draws, from
+        // the same stream, in recipient order — then regroup survivors
+        // by arrival tick. Each group's tie is its first member's
+        // emission index; no other send's tie can fall inside this
+        // batch's tie range, so same-instant FIFO order is unchanged.
+        let base = self.emitted;
+        self.emitted += count;
+        let mut landed: Vec<(u64, u32)> = Vec::with_capacity(mc.to.len());
+        for (i, to) in mc.to.iter().enumerate() {
+            if let Some(cause) =
+                self.cfg
+                    .faults
+                    .dropped(round, mc.from.index(), to.index(), &mut self.rng)
+            {
+                match cause {
+                    DropCause::Random => {
+                        self.stats.dropped_random += 1;
+                        if let Some(b) = self.phase_bucket(round) {
+                            b.dropped_random += 1;
+                        }
+                    }
+                    DropCause::Partition => {
+                        self.stats.dropped_partition += 1;
+                        if let Some(b) = self.phase_bucket(round) {
+                            b.dropped_partition += 1;
+                        }
+                    }
+                }
+                if self.trace.is_on() {
+                    self.pend.3 += 1;
+                }
+                continue;
+            }
+            let latency = self.cfg.latency.sample(&mut self.rng);
+            let arrival = (round as u64)
+                .saturating_mul(self.cfg.delta)
+                .saturating_add(latency);
+            landed.push((arrival, i as u32));
+        }
+        // Stable sort: recipients sharing an arrival keep slice order.
+        landed.sort_by_key(|&(arrival, _)| arrival);
+        let mut k = 0;
+        while k < landed.len() {
+            let arrival = landed[k].0;
+            let tie = base + landed[k].1 as u64;
+            let start = k;
+            while k < landed.len() && landed[k].0 == arrival {
+                k += 1;
+            }
+            let to = if k - start == mc.to.len() {
+                Dest::Many(mc.to.clone())
+            } else if k - start == 1 {
+                Dest::One(mc.to[landed[start].1 as usize])
+            } else {
+                Dest::Many(
+                    landed[start..k]
+                        .iter()
+                        .map(|&(_, i)| mc.to[i as usize])
+                        .collect(),
+                )
+            };
+            self.in_flight += (k - start) as u64;
+            self.queue.push(
+                arrival,
+                tie,
+                InFlight {
+                    sent_round: round,
+                    from: mc.from,
+                    to,
+                    payload: mc.payload.clone(),
+                },
+            );
         }
     }
 
+    fn collect(&mut self, round: usize, deliver: &mut dyn FnMut(Envelope<M>)) {
+        self.drain_round(round, |from, to, payload| match to {
+            Dest::One(p) => deliver(Envelope::new(from, p, payload)),
+            Dest::Many(list) => {
+                for &p in list.iter() {
+                    deliver(Envelope::new(from, p, payload.clone()));
+                }
+            }
+        });
+    }
+
+    fn collect_many(&mut self, round: usize, deliver: &mut dyn FnMut(Multicast<M>)) {
+        self.drain_round(round, |from, to, payload| {
+            let to = match to {
+                Dest::One(p) => Arc::from([p].as_slice()),
+                Dest::Many(list) => list,
+            };
+            deliver(Multicast { from, to, payload });
+        });
+    }
+
     fn is_online(&self, round: usize, p: ProcId) -> bool {
-        let i = p.index();
-        if self.crash_round.get(i).is_some_and(|&c| round >= c) {
-            return false;
-        }
-        !self.cfg.faults.churn.is_some_and(|c| c.is_down(round, i))
+        self.online_at(round, p)
     }
 
     fn is_faulty(&self, round: usize, p: ProcId) -> bool {
@@ -895,6 +1095,89 @@ mod tests {
                 ("(past-schedule)".to_string(), 5),
             ]
         );
+    }
+
+    #[test]
+    fn send_many_is_byte_identical_to_its_expansion() {
+        // Lossy links, jittery latency, a partition, and a crash all at
+        // once: the batched path must make the same per-recipient
+        // decisions from the same RNG stream as the per-envelope loop,
+        // so delivery sequences and every stats field coincide.
+        let cfg = || {
+            NetConfig::synchronous()
+                .with_seed(11)
+                .with_latency(LatencyModel::Uniform { lo: 0, hi: 2_200 })
+                .with_faults(FaultPlan {
+                    drop_prob: 0.25,
+                    partitions: vec![Partition {
+                        boundary: 3,
+                        from_round: 1,
+                        heal_round: 3,
+                    }],
+                    crashes: vec![Crash { proc: 2, round: 2 }],
+                    ..FaultPlan::default()
+                })
+        };
+        let recipients: Arc<[ProcId]> = (0..6).map(ProcId::new).collect();
+        let run = |batched: bool| {
+            let mut t: NetTransport<u16> = NetTransport::new(6, cfg());
+            t.mark_phase(0, "x");
+            let mut got = Vec::new();
+            for r in 0..8usize {
+                t.collect(r, &mut |e| {
+                    got.push((r, e.from.index(), e.to.index(), e.payload))
+                });
+                if r >= 4 {
+                    continue;
+                }
+                let mc = Multicast {
+                    from: ProcId::new(r % 6),
+                    to: recipients.clone(),
+                    payload: (r * 10) as u16,
+                };
+                if batched {
+                    t.send_many(r, mc);
+                } else {
+                    for &to in mc.to.iter() {
+                        t.send(r, Envelope::new(mc.from, to, mc.payload));
+                    }
+                }
+            }
+            (got, t.into_stats())
+        };
+        let (a, sa) = run(true);
+        let (b, sb) = run(false);
+        assert_eq!(a, b, "delivery sequence must match the expansion");
+        assert!(
+            sa.dropped() > 0 && sa.late > 0 && sa.dead_letters > 0,
+            "config must exercise every counter: {sa:?}"
+        );
+        assert_eq!(
+            format!("{sa:?}"),
+            format!("{sb:?}"),
+            "stats must match field for field"
+        );
+    }
+
+    #[test]
+    fn synchronous_send_many_stays_one_batch_through_collect_many() {
+        let mut t: NetTransport<u16> = NetTransport::new(4, NetConfig::synchronous());
+        let to: Arc<[ProcId]> = (0..4).map(ProcId::new).collect();
+        t.send_many(
+            0,
+            Multicast {
+                from: ProcId::new(0),
+                to,
+                payload: 5,
+            },
+        );
+        assert_eq!(t.stats().sent, 4, "counts stay per recipient");
+        let mut batches = Vec::new();
+        t.collect_many(1, &mut |b| batches.push((b.to.len(), b.payload)));
+        assert_eq!(batches, vec![(4, 5)], "the fan survives as one batch");
+        let stats = t.into_stats();
+        assert_eq!(stats.delivered, 4);
+        assert_eq!(stats.in_flight_at_end, 0);
     }
 
     #[test]

@@ -37,8 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod regular;
 mod sampler;
 
+pub use cache::CacheStats;
 pub use regular::RegularGraph;
 pub use sampler::{CheckReport, Sampler};

@@ -93,5 +93,5 @@ pub use payload::Payload;
 pub use process::{Process, RoundCtx};
 pub use rng::{derive_rng, SimRng};
 pub use schedule::{Phase, PhaseId, Schedule};
-pub use transport::{Lockstep, Transport};
+pub use transport::{Lockstep, Multicast, Transport};
 pub use wire::{WireError, WireMsg};

@@ -10,6 +10,27 @@
 
 use crate::ids::ProcId;
 use crate::message::Envelope;
+use std::sync::Arc;
+
+/// One payload fanned out from a single sender to a shared recipient
+/// list — the batched form of a committee broadcast.
+///
+/// Structured executors emit most of their traffic as identical copies
+/// of one value to every member of a committee. Carrying the whole fan
+/// as one `Multicast` instead of `to.len()` envelopes keeps transport
+/// queue volume proportional to the number of *logical* exchanges, not
+/// the committee size, while all accounting (`NetStats`, bit charges,
+/// trace events) still counts per recipient. The recipient list is
+/// `Arc`-shared so repeated fans to the same committee cost one clone.
+#[derive(Clone, Debug)]
+pub struct Multicast<M> {
+    /// The sending processor.
+    pub from: ProcId,
+    /// Recipients, in delivery order (committee lists are sorted).
+    pub to: Arc<[ProcId]>,
+    /// The payload every recipient gets a copy of.
+    pub payload: M,
+}
 
 /// Where the engine hands off outgoing traffic and asks for deliveries.
 ///
@@ -51,6 +72,49 @@ pub trait Transport<M> {
         false
     }
 
+    /// Accepts one multicast batch emitted during `round`: the same
+    /// payload bound for every processor in `mc.to`, in slice order.
+    ///
+    /// Semantically this IS `mc.to.len()` consecutive [`Transport::send`]
+    /// calls — same per-recipient accounting, same fault and latency
+    /// decisions in the same order, same delivery schedule — and the
+    /// default does exactly that expansion. Transports that understand
+    /// batches override it to keep one queue entry per fan instead of
+    /// one per recipient.
+    fn send_many(&mut self, round: usize, mc: Multicast<M>)
+    where
+        M: Clone,
+    {
+        for &to in mc.to.iter() {
+            self.send(
+                round,
+                Envelope {
+                    from: mc.from,
+                    to,
+                    payload: mc.payload.clone(),
+                },
+            );
+        }
+    }
+
+    /// Delivers everything due at the start of `round` as multicast
+    /// batches, in the same deterministic order [`Transport::collect`]
+    /// would use. A batch's recipient list holds exactly the recipients
+    /// the per-envelope path would have delivered to, in that order; the
+    /// default wraps each collected envelope as a singleton batch.
+    fn collect_many(&mut self, round: usize, deliver: &mut dyn FnMut(Multicast<M>))
+    where
+        M: Clone,
+    {
+        self.collect(round, &mut |e| {
+            deliver(Multicast {
+                from: e.from,
+                to: Arc::from([e.to].as_slice()),
+                payload: e.payload,
+            })
+        });
+    }
+
     /// Announces that the phase named `name` begins at `round` on this
     /// transport's timeline. Structured executors (the election
     /// tournament, the full stack) call this at every routed exchange so
@@ -76,7 +140,15 @@ pub trait Transport<M> {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Lockstep<M> {
-    buf: Vec<Envelope<M>>,
+    buf: Vec<Item<M>>,
+}
+
+/// A buffered emission: either a single envelope or a whole multicast,
+/// kept as emitted so batches survive the round trip intact.
+#[derive(Clone, Debug)]
+enum Item<M> {
+    One(Envelope<M>),
+    Many(Multicast<M>),
 }
 
 impl<M> Default for Lockstep<M> {
@@ -85,17 +157,49 @@ impl<M> Default for Lockstep<M> {
     }
 }
 
-impl<M> Transport<M> for Lockstep<M> {
+impl<M: Clone> Transport<M> for Lockstep<M> {
     fn send(&mut self, _round: usize, env: Envelope<M>) {
-        self.buf.push(env);
+        self.buf.push(Item::One(env));
+    }
+
+    fn send_many(&mut self, _round: usize, mc: Multicast<M>) {
+        self.buf.push(Item::Many(mc));
     }
 
     fn collect(&mut self, _round: usize, deliver: &mut dyn FnMut(Envelope<M>)) {
         // Everything in the buffer was sent last round, so all of it is
-        // due now; draining preserves emission order and recycles the
+        // due now; draining preserves emission order (batches expand to
+        // their per-recipient envelopes in place) and recycles the
         // allocation at its high-water capacity.
-        for env in self.buf.drain(..) {
-            deliver(env);
+        for item in self.buf.drain(..) {
+            match item {
+                Item::One(env) => deliver(env),
+                Item::Many(mc) => {
+                    for &to in mc.to.iter() {
+                        deliver(Envelope {
+                            from: mc.from,
+                            to,
+                            payload: mc.payload.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect_many(&mut self, _round: usize, deliver: &mut dyn FnMut(Multicast<M>))
+    where
+        M: Clone,
+    {
+        for item in self.buf.drain(..) {
+            match item {
+                Item::One(env) => deliver(Multicast {
+                    from: env.from,
+                    to: Arc::from([env.to].as_slice()),
+                    payload: env.payload,
+                }),
+                Item::Many(mc) => deliver(mc),
+            }
         }
     }
 }
@@ -117,6 +221,66 @@ mod tests {
         let mut again = Vec::new();
         t.collect(5, &mut |e| again.push(e.payload));
         assert!(again.is_empty());
+    }
+
+    #[test]
+    fn multicast_expands_in_recipient_order_through_either_collect() {
+        let to: Arc<[ProcId]> = (1..4).map(ProcId::new).collect();
+        let mc = Multicast {
+            from: ProcId::new(0),
+            to,
+            payload: 7u16,
+        };
+
+        // send_many + collect: the batch expands to per-recipient
+        // envelopes, interleaved with singles in emission order.
+        let mut t: Lockstep<u16> = Lockstep::default();
+        t.send(0, Envelope::new(ProcId::new(9), ProcId::new(0), 1));
+        t.send_many(0, mc.clone());
+        t.send(0, Envelope::new(ProcId::new(9), ProcId::new(0), 2));
+        let mut got = Vec::new();
+        t.collect(1, &mut |e| got.push((e.to.index(), e.payload)));
+        assert_eq!(got, vec![(0, 1), (1, 7), (2, 7), (3, 7), (0, 2)]);
+
+        // send_many + collect_many: the batch survives intact and the
+        // singles arrive as singleton batches, same order.
+        let mut t: Lockstep<u16> = Lockstep::default();
+        t.send(0, Envelope::new(ProcId::new(9), ProcId::new(0), 1));
+        t.send_many(0, mc);
+        let mut got = Vec::new();
+        t.collect_many(1, &mut |b| got.push((b.to.len(), b.payload)));
+        assert_eq!(got, vec![(1, 1), (3, 7)]);
+    }
+
+    #[test]
+    fn default_send_many_expands_and_default_collect_many_wraps() {
+        // A transport that only implements the per-envelope pair still
+        // accepts batches through the trait defaults.
+        struct Tap(Vec<Envelope<u16>>);
+        impl Transport<u16> for Tap {
+            fn send(&mut self, _r: usize, env: Envelope<u16>) {
+                self.0.push(env);
+            }
+            fn collect(&mut self, _r: usize, deliver: &mut dyn FnMut(Envelope<u16>)) {
+                for env in self.0.drain(..) {
+                    deliver(env);
+                }
+            }
+        }
+        let mut t = Tap(Vec::new());
+        let to: Arc<[ProcId]> = (0..3).map(ProcId::new).collect();
+        t.send_many(
+            0,
+            Multicast {
+                from: ProcId::new(5),
+                to,
+                payload: 9u16,
+            },
+        );
+        assert_eq!(t.0.len(), 3);
+        let mut got = Vec::new();
+        t.collect_many(1, &mut |b| got.push((b.to.len(), b.to[0].index())));
+        assert_eq!(got, vec![(1, 0), (1, 1), (1, 2)]);
     }
 
     #[test]

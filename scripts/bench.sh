@@ -36,6 +36,13 @@ for exp in $EXPERIMENTS; do
     end=$(date +%s.%N)
     wall=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.2f", b - a }')
     echo "   ${wall}s wall"
+    # Pin: survival must stay on the batched envelope paths. BENCH_6
+    # measured 172 s pre-batching; anything near that again means the
+    # committee-batched fast path regressed.
+    if [[ "$exp" == "exp_tournament_survival" ]]; then
+        awk -v w="$wall" 'BEGIN { exit (w < 30.0) ? 0 : 1 }' \
+            || { echo "FAIL: exp_tournament_survival took ${wall}s (pin: < 30 s)"; exit 1; }
+    fi
     EXP_ROWS="${EXP_ROWS}    {\"bin\": \"${exp}\", \"wall_seconds\": ${wall}},\n"
 done
 EXP_ROWS="${EXP_ROWS%,\\n}"
@@ -68,6 +75,21 @@ PROFILE_ROWS=$(grep '"section": "profile"' "$TRACEJSONL" \
     | awk -F'"secs": ' '{ v = $2; sub(/[^0-9.eE+-].*/, "", v); print v "\t" $0 }' \
     | sort -gr | head -5 | cut -f2- | sed 's/^/    /;s/$/,/' | sed '$ s/,$//')
 
+# Scale campaign: the full everywhere stack swept up to n = 2^17
+# (≥ 10^5 processors) under exp_scale's reduced-constant profile, with
+# trace-report fitting bits/good-proc to c·√n·log₂^k(n) from the
+# emitted trial events. The largest row completing end-to-end is the
+# headline number of the batching/caching/arena work.
+echo "== scale sweep (everywhere stack up to n = 131072) =="
+SCALEJSON="$(mktemp)"
+SCALETRACE="$(mktemp)"
+trap 'rm -f "$NDJSON" "$SCNJSON" "$TRACEJSONL" "$SCALEJSON" "$SCALETRACE"' EXIT
+cargo run --release --offline -p ba-bench --bin exp_scale -- \
+    --json "$SCALEJSON" --trace "$SCALETRACE"
+SCALE_FIT=$(cargo run --release --offline -p ba-bench --bin trace-report -- \
+    "$SCALETRACE" | grep '^fit:' | sed 's/^fit: //')
+echo "   fit: ${SCALE_FIT}"
+
 # Adversary-search throughput: trials/sec over the default seed-pinned
 # hunt (grid + sampled fault space, including each finding's shrink).
 echo "== hunt throughput =="
@@ -87,7 +109,7 @@ echo "   ${HUNT_WALL}s wall, ${HUNT_TPS} trials/sec"
 echo "== serve throughput (64 concurrent sessions over loopback TCP) =="
 SERVE_ADDR="$(mktemp)"
 SERVE_JSON="$(mktemp)"
-trap 'rm -f "$NDJSON" "$SCNJSON" "$TRACEJSONL" "$SERVE_ADDR" "$SERVE_JSON"' EXIT
+trap 'rm -f "$NDJSON" "$SCNJSON" "$TRACEJSONL" "$SCALEJSON" "$SCALETRACE" "$SERVE_ADDR" "$SERVE_JSON"' EXIT
 rm -f "$SERVE_ADDR"
 timeout 600 target/release/serve \
     --port-file "$SERVE_ADDR" --workers 8 --queue 64 >/dev/null &
@@ -145,6 +167,11 @@ SH_256_REF=$(ns "$NDJSON" "shamir/reconstruct_ref_n256")
     echo "  \"profile_hotspots\": ["
     printf "%s\n" "$PROFILE_ROWS"
     echo "  ],"
+    echo "  \"scale\": {"
+    echo "    \"fit\": \"${SCALE_FIT}\","
+    echo "    \"rows\":"
+    sed 's/^/    /' "$SCALEJSON"
+    echo "  },"
     echo "  \"hunt\": {"
     echo "    \"budget_trials\": ${HUNT_BUDGET},"
     echo "    \"wall_seconds\": ${HUNT_WALL},"

@@ -69,6 +69,15 @@ grep -q "all_agreed = true" "$SERVE_LOG" \
     || { echo "serve: sessions completed without full agreement"; exit 1; }
 wait "$SERVE_PID"
 
+echo "== scale smoke (everywhere stack end-to-end at n = 4096) =="
+# One seed of the full Algorithm 4 stack under exp_scale's scale
+# profile: exercises the batched-envelope tournament, the cached
+# sampler registry, and the arena share trees at a four-digit n. The
+# budget is generous (the run is ~10 s release on one core); blowing
+# it means a scale regression, not noise.
+timeout 120 cargo run --release --offline -p ba-bench --bin exp_scale -- \
+    --max-n 4096
+
 echo "== pinned regression scenarios =="
 cargo run --release --offline -p ba-bench --bin scenario -- scenarios/regressions
 

@@ -335,6 +335,177 @@ fn traced_net_runs_pin_the_untraced_output() {
     }
 }
 
+/// The batching contract: `send_many` is sugar for its per-envelope
+/// expansion. Across a matrix of network damage — synchronous, lossy,
+/// jittered, partitioned+churning — the batched tournament and
+/// everywhere stack are byte-identical to the unbatched paths in every
+/// observable: decisions, total and per-processor bits, per-phase
+/// attribution, and the complete `NetStats` (compared by `Debug`
+/// rendering, so per-phase breakdowns and drop/dead/late counters are
+/// all covered). Envelope *counts inside the transport queue* are the
+/// only thing allowed to differ, and nothing here observes those.
+#[test]
+fn batched_envelopes_are_byte_identical_to_unbatched() {
+    use king_saia::core::tournament::{self, TourMsg, TournamentConfig};
+    use king_saia::net::{Churn, FaultPlan, LatencyModel, Partition};
+
+    let n = 64;
+    let damage: Vec<(&str, NetConfig)> = vec![
+        ("synchronous", NetConfig::synchronous()),
+        (
+            "lossy",
+            NetConfig::synchronous().with_faults(FaultPlan {
+                drop_prob: 0.15,
+                ..FaultPlan::default()
+            }),
+        ),
+        (
+            "jitter",
+            NetConfig::synchronous().with_latency(LatencyModel::Uniform { lo: 0, hi: 1600 }),
+        ),
+        (
+            "partition+churn",
+            NetConfig::synchronous().with_faults(FaultPlan {
+                partitions: vec![Partition {
+                    boundary: n / 2,
+                    from_round: 2,
+                    heal_round: 6,
+                }],
+                churn: Some(Churn {
+                    period: 9,
+                    down: 2,
+                    stagger: 1,
+                }),
+                ..FaultPlan::default()
+            }),
+        ),
+    ];
+    let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+
+    for (label, cfg) in &damage {
+        for seed in [1u64, 2] {
+            // Tournament alone.
+            let run_tournament = |config: &TournamentConfig| {
+                let mut transport: NetTransport<TourMsg> =
+                    NetTransport::new(n, cfg.clone().with_seed(seed));
+                let out = tournament::run_with_transport(
+                    config,
+                    &inputs,
+                    &mut NoTreeAdversary,
+                    &mut transport,
+                );
+                (out, transport.into_stats())
+            };
+            let config = TournamentConfig::for_n(n).with_seed(seed);
+            let (a, sa) = run_tournament(&config);
+            let (b, sb) = run_tournament(&config.clone().with_unbatched_envelopes());
+            let ctx = format!("{label} seed {seed}");
+            assert_eq!(a.decisions, b.decisions, "{ctx}: decisions");
+            assert_eq!(a.decided, b.decided, "{ctx}: decided");
+            assert_eq!(a.bits_per_proc, b.bits_per_proc, "{ctx}: bits");
+            assert_eq!(a.phase_bits, b.phase_bits, "{ctx}: phase_bits");
+            assert_eq!(a.corrupt, b.corrupt, "{ctx}: corrupt");
+            assert_eq!(a.rounds, b.rounds, "{ctx}: rounds");
+            assert_eq!(a.coin_words, b.coin_words, "{ctx}: coin words");
+            assert_eq!(
+                format!("{sa:?}"),
+                format!("{sb:?}"),
+                "{ctx}: NetStats diverge"
+            );
+
+            // Full Algorithm-4 stack over one shared transport.
+            let run_stack = |unbatched: bool| {
+                let mut config = EverywhereConfig::for_n(n).with_seed(seed);
+                if unbatched {
+                    config.tournament = config.tournament.clone().with_unbatched_envelopes();
+                }
+                let (out, transport) = everywhere::run_with_transport(
+                    &config,
+                    &inputs,
+                    &mut NoTreeAdversary,
+                    NullAdversary,
+                    NetTransport::new(n, cfg.clone().with_seed(seed)),
+                );
+                (out, transport.into_stats())
+            };
+            let (a, sa) = run_stack(false);
+            let (b, sb) = run_stack(true);
+            assert_eq!(a.decisions, b.decisions, "{ctx}: stack decisions");
+            assert_eq!(a.bits_per_proc, b.bits_per_proc, "{ctx}: stack bits");
+            assert_eq!(a.phase_bits, b.phase_bits, "{ctx}: stack phase_bits");
+            assert_eq!(a.rounds, b.rounds, "{ctx}: stack rounds");
+            assert_eq!(a.corrupt, b.corrupt, "{ctx}: stack corrupt");
+            assert_eq!(
+                a.everywhere_agreement, b.everywhere_agreement,
+                "{ctx}: stack agreement"
+            );
+            assert_eq!(
+                format!("{sa:?}"),
+                format!("{sb:?}"),
+                "{ctx}: stack NetStats diverge"
+            );
+        }
+    }
+}
+
+/// The perf kernels introduced for the scale campaign, pinned to their
+/// retained scalar/boxed oracles (the PR-1 pattern: every optimized
+/// kernel ships with the reference it must match bit-for-bit).
+mod crypto_kernel_oracles {
+    use king_saia::crypto::iterated::{reference, Layer, ShareTree};
+    use king_saia::crypto::poly::Poly;
+    use king_saia::crypto::Gf16;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The chunked `eval_many` kernel behind `shamir::share` equals
+        /// the scalar Horner oracle at Shamir's evaluation points.
+        #[test]
+        fn eval_many_matches_scalar_shamir_oracle(
+            secret in any::<u16>(),
+            t in 0usize..40,
+            n in 1usize..300,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = Poly::random_with_secret(Gf16::new(secret), t, &mut rng);
+            let xs: Vec<Gf16> = (0..n).map(|j| Gf16::new((j + 1) as u16)).collect();
+            let expected: Vec<Gf16> = xs.iter().map(|&x| p.eval(x)).collect();
+            prop_assert_eq!(p.eval_many(&xs), expected);
+        }
+
+        /// Arena and boxed `ShareTree` dealings of one RNG stream agree
+        /// on every recovery decision a coalition can pose.
+        #[test]
+        fn arena_share_tree_matches_boxed_recover(
+            secret in any::<u16>(),
+            n1 in 2usize..6,
+            n2 in 2usize..6,
+            seed in any::<u64>(),
+            mask in any::<u64>(),
+        ) {
+            let layers = [Layer::majority(n1), Layer::majority(n2)];
+            let secret = Gf16::new(secret);
+            let arena =
+                ShareTree::deal(secret, &layers, &mut StdRng::seed_from_u64(seed)).unwrap();
+            let boxed = reference::ShareTree::deal(
+                secret, &layers, &mut StdRng::seed_from_u64(seed),
+            ).unwrap();
+            prop_assert_eq!(arena.leaf_shares(), boxed.leaf_shares());
+            let holds = |p: &[usize]| {
+                let h = p.iter().fold(7u64, |a, &i| a.wrapping_mul(37).wrapping_add(i as u64));
+                mask.rotate_left((h % 64) as u32) & 1 == 1
+            };
+            prop_assert_eq!(arena.recover(holds), boxed.recover(holds));
+            prop_assert_eq!(arena.recover(|_| true), Some(secret));
+        }
+    }
+}
+
 /// Every spec in the starter scenario library parses, and its network
 /// config round-trips the declared phases.
 #[test]
